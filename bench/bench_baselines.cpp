@@ -1,0 +1,115 @@
+// E9 — Section 1.2: USD among its peers.
+//
+// The introduction situates the USD against the Voter process (slow:
+// Theta(n) parallel time), TwoChoices / 3-Majority (fast: O(k log n)
+// rounds under bias conditions), the MedianRule, and the synchronized USD
+// variant (polylog, but protocol overhead). We race them from the same
+// moderately biased start and report parallel time and plurality win rate.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/dynamics.hpp"
+#include "core/run.hpp"
+#include "core/sync_usd.hpp"
+#include "pp/configuration.hpp"
+#include "runner/csv.hpp"
+#include "runner/trials.hpp"
+#include "stats/summary.hpp"
+
+using namespace kusd;
+
+namespace {
+
+struct Outcome {
+  double parallel_time = 0.0;
+  bool plurality_won = false;
+};
+
+}  // namespace
+
+int main() {
+  bench::banner("E9", "related dynamics (Section 1.2)",
+                "USD vs Voter / TwoChoices / 3-Majority / MedianRule / "
+                "SyncUSD from the same multiplicative-bias start.");
+
+  // Voter needs Theta(n^2) activations: keep n modest so the contrast is
+  // visible without dominating the bench's runtime.
+  const int trials = runner::scaled_trials(10);
+  const pp::Count n = runner::scaled(4096);
+  const int k = 6;
+  const auto x0 = pp::Configuration::with_multiplicative_bias(n, k, 0, 1.5);
+
+  runner::Table table(
+      {"dynamics", "mean parallel time", "p95", "plurality wins"});
+  runner::CsvWriter csv("bench_baselines.csv",
+                        {"dynamics", "parallel_time", "win_rate"});
+
+  const auto report = [&](const std::string& name,
+                          const std::vector<Outcome>& rows) {
+    stats::Samples t;
+    int wins = 0;
+    for (const auto& r : rows) {
+      t.add(r.parallel_time);
+      wins += r.plurality_won ? 1 : 0;
+    }
+    table.add_row({name, runner::fmt(t.mean(), 1),
+                   runner::fmt(t.quantile(0.95), 1),
+                   std::to_string(wins) + "/" + std::to_string(trials)});
+    csv.write_row({name, runner::fmt(t.mean(), 3),
+                   runner::fmt(static_cast<double>(wins) / trials, 3)});
+  };
+
+  report("USD (population)",
+         runner::run_trials<Outcome>(
+             trials, 0xE9000, [&x0](std::uint64_t seed) {
+               core::RunOptions opts;
+               opts.track_phases = false;
+               const auto r = core::run_usd(x0, seed, opts);
+               return Outcome{r.parallel_time, r.plurality_won};
+             }));
+
+  const core::VoterDynamics voter;
+  const core::TwoChoicesDynamics two_choices;
+  const core::JMajorityDynamics three_majority(3);
+  const core::JMajorityDynamics five_majority(5);
+  const core::MedianRuleDynamics median;
+  const std::vector<const core::SamplingDynamics*> dynamics{
+      &voter, &two_choices, &three_majority, &five_majority, &median};
+  for (const auto* dyn : dynamics) {
+    report(std::string(dyn->name()),
+           runner::run_trials<Outcome>(
+               trials, 0xE9100 + dyn->sample_size(),
+               [&x0, dyn, n](std::uint64_t seed) {
+                 core::DynamicsScheduler sched(*dyn, x0, rng::Rng(seed));
+                 // Cap generous enough for the Voter's Theta(n^2) law.
+                 const bool ok = sched.run_to_consensus(10ull * n * n);
+                 return Outcome{static_cast<double>(sched.activations()) /
+                                    static_cast<double>(n),
+                                ok && sched.consensus_opinion() == 0};
+               }));
+  }
+
+  report("SyncUSD (rounds)",
+         runner::run_trials<Outcome>(
+             trials, 0xE9200, [&x0](std::uint64_t seed) {
+               core::SyncUsd sync(x0, rng::Rng(seed));
+               const bool ok = sync.run_to_consensus(100000);
+               return Outcome{static_cast<double>(sync.total_rounds()),
+                              ok && sync.consensus_opinion() == 0};
+             }));
+
+  table.print();
+  std::printf("\nexpected shape: Voter is orders of magnitude slower\n"
+              "(Theta(n) parallel time) and wins only proportionally to\n"
+              "initial support; USD and the majority dynamics finish in\n"
+              "polylog-ish parallel time and the plurality nearly always\n"
+              "wins; MedianRule converges fast but to the *median* opinion\n"
+              "(it assumes an opinion ordering — Section 1.2), so its\n"
+              "plurality-win column is expectedly ~0 for k > 2; SyncUSD is\n"
+              "fastest in rounds but needs synchronization machinery the\n"
+              "USD does not.\n");
+  std::printf("wrote bench_baselines.csv\n");
+  return 0;
+}

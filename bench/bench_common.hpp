@@ -1,0 +1,34 @@
+// Shared helpers for the bench binaries.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "pp/configuration.hpp"
+#include "runner/scale.hpp"
+#include "runner/table.hpp"
+
+namespace kusd::bench {
+
+/// Print the standard experiment banner (id, paper artifact, scale knob).
+inline void banner(const char* experiment_id, const char* artifact,
+                   const char* claim) {
+  std::printf("=== %s — %s ===\n", experiment_id, artifact);
+  std::printf("%s\n", claim);
+  std::printf("(REPRO_SCALE=%.2f; set REPRO_SCALE to rescale sizes/trials)\n\n",
+              runner::repro_scale());
+}
+
+/// n log n with natural log, as a double.
+inline double n_log_n(pp::Count n) {
+  const double dn = static_cast<double>(n);
+  return dn * std::log(dn);
+}
+
+/// The paper's additive-bias magnitude c * sqrt(n log n).
+inline pp::Count additive_beta(pp::Count n, double c) {
+  return static_cast<pp::Count>(c * std::sqrt(n_log_n(n)));
+}
+
+}  // namespace kusd::bench

@@ -1,0 +1,113 @@
+// E1 — the paper's phase table (Section 2.1).
+//
+// For unbiased starts we measure the mean interactions spent in each of the
+// five phases and print them next to the paper's asymptotic column. The
+// shape checks:
+//   * phases occur in order and all complete;
+//   * Phase 1 and Phase 5 scale like n log n (independent of k);
+//   * Phases 2-3 scale like n^2 log n / xmax ~ k n log n (linear in k);
+//   * Phase 4 is O(n^2/xmax + n log n).
+#include <cstdint>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/run.hpp"
+#include "pp/configuration.hpp"
+#include "runner/csv.hpp"
+#include "runner/trials.hpp"
+#include "stats/regression.hpp"
+#include "stats/summary.hpp"
+
+using namespace kusd;
+
+namespace {
+
+struct PhaseRow {
+  double len[5] = {0, 0, 0, 0, 0};
+  bool ok = false;
+};
+
+PhaseRow measure(pp::Count n, int k, std::uint64_t seed) {
+  const auto x0 = pp::Configuration::uniform(n, k, 0);
+  core::RunOptions opts;
+  opts.observe_interval = std::max<pp::Count>(1, n / 32);
+  const auto r = core::run_usd(x0, seed, opts);
+  PhaseRow row;
+  if (!r.converged || !r.phases.complete()) return row;
+  row.ok = true;
+  for (int p = 1; p <= 5; ++p) {
+    row.len[p - 1] = static_cast<double>(*r.phases.phase_length(p));
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E1", "phase table, Section 2.1",
+                "Per-phase interactions for unbiased starts; paper bounds: "
+                "P1 O(n log n), P2/P3 O(n^2 log n / xmax), "
+                "P4 O(n^2/xmax + n log n), P5 O(n log n).");
+
+  const int trials = runner::scaled_trials(8);
+  const std::vector<int> ks{2, 8, 32};
+  const std::vector<pp::Count> ns{
+      runner::scaled(8192), runner::scaled(32768),
+      runner::scaled(131072)};
+
+  runner::Table table({"n", "k", "P1 (rise)", "P2 (add.bias)",
+                       "P3 (mult.bias)", "P4 (majority)", "P5 (consensus)",
+                       "total", "total/(k n ln n)"});
+  runner::CsvWriter csv("bench_phases.csv",
+                        {"n", "k", "p1", "p2", "p3", "p4", "p5"});
+
+  // For the scaling fits: mean phase lengths per (n, k).
+  std::vector<double> fit_n, fit_p1, fit_p23;
+  for (pp::Count n : ns) {
+    for (int k : ks) {
+      const auto rows = runner::run_trials<PhaseRow>(
+          trials, 0xE1000 + n + static_cast<pp::Count>(k),
+          [n, k](std::uint64_t seed) { return measure(n, k, seed); });
+      stats::Samples p[5];
+      int ok = 0;
+      for (const auto& row : rows) {
+        if (!row.ok) continue;
+        ++ok;
+        for (int i = 0; i < 5; ++i) p[i].add(row.len[i]);
+      }
+      if (ok == 0) continue;
+      double total = 0.0;
+      for (int i = 0; i < 5; ++i) total += p[i].mean();
+      table.add_row({runner::fmt_int(n), std::to_string(k),
+                     runner::fmt_compact(p[0].mean()),
+                     runner::fmt_compact(p[1].mean()),
+                     runner::fmt_compact(p[2].mean()),
+                     runner::fmt_compact(p[3].mean()),
+                     runner::fmt_compact(p[4].mean()),
+                     runner::fmt_compact(total),
+                     runner::fmt(total / (k * bench::n_log_n(n)), 3)});
+      csv.write_row({std::to_string(n), std::to_string(k),
+                     runner::fmt(p[0].mean(), 1), runner::fmt(p[1].mean(), 1),
+                     runner::fmt(p[2].mean(), 1), runner::fmt(p[3].mean(), 1),
+                     runner::fmt(p[4].mean(), 1)});
+      if (k == 8) {
+        fit_n.push_back(static_cast<double>(n));
+        fit_p1.push_back(p[0].mean() + 1.0);
+        fit_p23.push_back(p[1].mean() + p[2].mean() + 1.0);
+      }
+    }
+  }
+  table.print();
+
+  if (fit_n.size() >= 2) {
+    const auto e1 = stats::loglog_fit(fit_n, fit_p1);
+    const auto e23 = stats::loglog_fit(fit_n, fit_p23);
+    std::printf("\nscaling in n at k=8 (log-log slope; n log n ~ 1.1):\n");
+    std::printf("  Phase 1:      %.2f (paper: O(n log n))\n", e1.slope);
+    std::printf("  Phases 2+3:   %.2f (paper: O(n^2 log n / xmax) "
+                "= O(k n log n))\n",
+                e23.slope);
+  }
+  std::printf("\nwrote bench_phases.csv\n");
+  return 0;
+}

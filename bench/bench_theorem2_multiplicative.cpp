@@ -1,0 +1,117 @@
+// E2 — Theorem 2(1): multiplicative bias.
+//
+// With an initial multiplicative bias of 1 + eps the USD reaches plurality
+// consensus within O(n log n + n^2/x1(0)) = O(n log n + n k) interactions,
+// and the initial plurality wins w.h.p. Shape checks:
+//   * win rate ~ 1 across n and k;
+//   * interactions grow linearly in k for fixed n (the n*k term dominates
+//     once k >> log n);
+//   * interactions / (n log n + n k) stays bounded by a constant.
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/run.hpp"
+#include "pp/configuration.hpp"
+#include "runner/csv.hpp"
+#include "runner/trials.hpp"
+#include "stats/regression.hpp"
+#include "stats/summary.hpp"
+
+using namespace kusd;
+
+namespace {
+
+struct Outcome {
+  double interactions = 0.0;
+  bool plurality_won = false;
+};
+
+Outcome measure(const pp::Configuration& x0, std::uint64_t seed) {
+  core::RunOptions opts;
+  opts.track_phases = false;
+  const auto r = core::run_usd(x0, seed, opts);
+  return {static_cast<double>(r.interactions),
+          r.converged && r.plurality_won};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E2", "Theorem 2(1)",
+                "Multiplicative bias 1+eps (eps=1): plurality consensus in "
+                "O(n log n + n^2/x1(0)) = O(n log n + n k) interactions, "
+                "plurality wins w.h.p. (requires k = O(sqrt(n)/log^2 n))");
+
+  const int trials = runner::scaled_trials(12);
+  runner::Table table({"n", "k", "mean interactions", "p95", "wins",
+                       "T / (n ln n + n^2/x1)"});
+  runner::CsvWriter csv("bench_theorem2_multiplicative.csv",
+                        {"n", "k", "mean_interactions", "win_rate"});
+
+  std::vector<double> ks_fit, t_fit;
+  const pp::Count n_fix = runner::scaled(65536);
+  for (int k : {2, 4, 8, 16, 32}) {
+    const auto x0 =
+        pp::Configuration::with_multiplicative_bias(n_fix, k, 0, 2.0);
+    const auto rows = runner::run_trials<Outcome>(
+        trials, 0xE2000 + static_cast<std::uint64_t>(k),
+        [&x0](std::uint64_t seed) { return measure(x0, seed); });
+    stats::Samples t;
+    int wins = 0;
+    for (const auto& row : rows) {
+      t.add(row.interactions);
+      wins += row.plurality_won ? 1 : 0;
+    }
+    const double bound =
+        bench::n_log_n(n_fix) +
+        static_cast<double>(n_fix) * static_cast<double>(n_fix) /
+            static_cast<double>(x0.opinion(0));
+    table.add_row({runner::fmt_int(n_fix), std::to_string(k),
+                   runner::fmt_compact(t.mean()),
+                   runner::fmt_compact(t.quantile(0.95)),
+                   std::to_string(wins) + "/" + std::to_string(trials),
+                   runner::fmt(t.mean() / bound, 3)});
+    csv.write_row({std::to_string(n_fix), std::to_string(k),
+                   runner::fmt(t.mean(), 1),
+                   runner::fmt(static_cast<double>(wins) / trials, 3)});
+    ks_fit.push_back(static_cast<double>(k));
+    t_fit.push_back(t.mean());
+  }
+
+  // Sweep n at fixed k.
+  const int k_fix = 16;
+  for (pp::Count n :
+       {runner::scaled(16384), runner::scaled(65536),
+        runner::scaled(131072)}) {
+    const auto x0 =
+        pp::Configuration::with_multiplicative_bias(n, k_fix, 0, 2.0);
+    const auto rows = runner::run_trials<Outcome>(
+        trials, 0xE2100 + n,
+        [&x0](std::uint64_t seed) { return measure(x0, seed); });
+    stats::Samples t;
+    int wins = 0;
+    for (const auto& row : rows) {
+      t.add(row.interactions);
+      wins += row.plurality_won ? 1 : 0;
+    }
+    const double bound = bench::n_log_n(n) +
+                         static_cast<double>(n) * static_cast<double>(n) /
+                             static_cast<double>(x0.opinion(0));
+    table.add_row({runner::fmt_int(n), std::to_string(k_fix),
+                   runner::fmt_compact(t.mean()),
+                   runner::fmt_compact(t.quantile(0.95)),
+                   std::to_string(wins) + "/" + std::to_string(trials),
+                   runner::fmt(t.mean() / bound, 3)});
+    csv.write_row({std::to_string(n), std::to_string(k_fix),
+                   runner::fmt(t.mean(), 1),
+                   runner::fmt(static_cast<double>(wins) / trials, 3)});
+  }
+  table.print();
+
+  const auto fit = stats::loglog_fit(ks_fit, t_fit);
+  std::printf("\nscaling in k at fixed n: log-log slope %.2f "
+              "(paper: -> 1 once nk dominates n log n)\n",
+              fit.slope);
+  std::printf("wrote bench_theorem2_multiplicative.csv\n");
+  return 0;
+}

@@ -1,0 +1,160 @@
+#include "analysis/markov_exact.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace kusd::analysis {
+
+namespace {
+
+/// Dense Gaussian elimination with partial pivoting solving A X = B for
+/// multiple right-hand sides in place. A is m x m row-major; B is m x r.
+void solve_dense(std::vector<double>& a, std::vector<double>& b,
+                 std::size_t m, std::size_t r) {
+  for (std::size_t col = 0; col < m; ++col) {
+    // Pivot.
+    std::size_t pivot = col;
+    double best = std::abs(a[col * m + col]);
+    for (std::size_t row = col + 1; row < m; ++row) {
+      const double v = std::abs(a[row * m + col]);
+      if (v > best) {
+        best = v;
+        pivot = row;
+      }
+    }
+    KUSD_CHECK_MSG(best > 1e-14, "singular linear system");
+    if (pivot != col) {
+      for (std::size_t j = col; j < m; ++j)
+        std::swap(a[col * m + j], a[pivot * m + j]);
+      for (std::size_t j = 0; j < r; ++j)
+        std::swap(b[col * r + j], b[pivot * r + j]);
+    }
+    const double inv = 1.0 / a[col * m + col];
+    for (std::size_t row = col + 1; row < m; ++row) {
+      const double factor = a[row * m + col] * inv;
+      if (factor == 0.0) continue;
+      a[row * m + col] = 0.0;
+      for (std::size_t j = col + 1; j < m; ++j)
+        a[row * m + j] -= factor * a[col * m + j];
+      for (std::size_t j = 0; j < r; ++j)
+        b[row * r + j] -= factor * b[col * r + j];
+    }
+  }
+  // Back substitution.
+  for (std::size_t col = m; col-- > 0;) {
+    const double inv = 1.0 / a[col * m + col];
+    for (std::size_t j = 0; j < r; ++j) {
+      double v = b[col * r + j];
+      for (std::size_t jj = col + 1; jj < m; ++jj)
+        v -= a[col * m + jj] * b[jj * r + j];
+      b[col * r + j] = v * inv;
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t Usd2ExactSolver::index(pp::Count x0, pp::Count x1) const {
+  KUSD_DCHECK(x0 + x1 <= n_);
+  // Triangular indexing over all (x0, x1) with x0 + x1 <= n.
+  const pp::Count s = x0;
+  // Row x0 starts after rows 0..x0-1; row i has (n - i + 1) entries.
+  const pp::Count row_start = s * (n_ + 1) - s * (s - 1) / 2;
+  return static_cast<std::size_t>(row_start + x1);
+}
+
+Usd2ExactSolver::Usd2ExactSolver(pp::Count n) : n_(n) {
+  KUSD_CHECK_MSG(n >= 2, "need at least two agents");
+  KUSD_CHECK_MSG(n <= 64, "exact solver is O(n^6); use the simulator");
+  const std::size_t num_states = index(n, 0) + 1;
+  expected_time_.assign(num_states, 0.0);
+  win_prob_.assign(num_states, 0.0);
+
+  // Transient states: x0 + x1 >= 1 and not consensus. (States with
+  // x0 + x1 == 0 are the all-undecided trap; excluded.)
+  std::vector<std::size_t> transient;
+  std::vector<std::ptrdiff_t> unknown_of_state(num_states, -1);
+  for (pp::Count x0 = 0; x0 <= n; ++x0) {
+    for (pp::Count x1 = 0; x1 + x0 <= n; ++x1) {
+      if (x0 + x1 == 0) continue;
+      if ((x0 == n && x1 == 0) || (x1 == n && x0 == 0)) continue;
+      unknown_of_state[index(x0, x1)] =
+          static_cast<std::ptrdiff_t>(transient.size());
+      transient.push_back(index(x0, x1));
+    }
+  }
+  const std::size_t m = transient.size();
+  // Two right-hand sides: column 0 = expected time, column 1 = win prob.
+  std::vector<double> a(m * m, 0.0);
+  std::vector<double> b(m * 2, 0.0);
+
+  const double nn = static_cast<double>(n) * static_cast<double>(n);
+  std::size_t row = 0;
+  for (pp::Count x0 = 0; x0 <= n; ++x0) {
+    for (pp::Count x1 = 0; x1 + x0 <= n; ++x1) {
+      if (unknown_of_state[index(x0, x1)] < 0) continue;
+      const double u = static_cast<double>(n - x0 - x1);
+      const double d0 = static_cast<double>(x0);
+      const double d1 = static_cast<double>(x1);
+      // Productive transitions and their probabilities.
+      struct Arc {
+        pp::Count nx0, nx1;
+        double p;
+      };
+      const Arc arcs[4] = {
+          {x0 + 1, x1, u * d0 / nn},      // undecided adopts opinion 0
+          {x0, x1 + 1, u * d1 / nn},      // undecided adopts opinion 1
+          {x0 - 1, x1, d0 * d1 / nn},     // opinion-0 responder flips
+          {x0, x1 - 1, d1 * d0 / nn},     // opinion-1 responder flips
+      };
+      double q = 0.0;  // total productive probability
+      for (const Arc& arc : arcs) q += arc.p;
+      KUSD_CHECK_MSG(q > 0.0, "transient state with no productive step");
+      // (I - P_cond) t = 1/q ; (I - P_cond) h = P_cond(-> win absorbing).
+      a[row * m + row] = 1.0;
+      b[row * 2 + 0] = 1.0 / q;
+      for (const Arc& arc : arcs) {
+        if (arc.p == 0.0) continue;
+        const double pc = arc.p / q;
+        const std::size_t sidx = index(arc.nx0, arc.nx1);
+        const std::ptrdiff_t col = unknown_of_state[sidx];
+        if (col >= 0) {
+          a[row * m + static_cast<std::size_t>(col)] -= pc;
+        } else if (arc.nx0 == n && arc.nx1 == 0) {
+          b[row * 2 + 1] += pc;  // absorbed with Opinion 0 winning
+        }
+        // Absorption at (0, n) contributes 0 to both systems; the
+        // all-undecided state is unreachable (x0 + x1 never drops to 0:
+        // a flip requires both opinions present, leaving the other).
+      }
+      ++row;
+    }
+  }
+  KUSD_CHECK(row == m);
+  solve_dense(a, b, m, 2);
+  for (std::size_t i = 0; i < m; ++i) {
+    expected_time_[transient[i]] = b[i * 2 + 0];
+    win_prob_[transient[i]] = b[i * 2 + 1];
+  }
+  // Absorbing states.
+  expected_time_[index(n, 0)] = 0.0;
+  win_prob_[index(n, 0)] = 1.0;
+  expected_time_[index(0, n)] = 0.0;
+  win_prob_[index(0, n)] = 0.0;
+}
+
+double Usd2ExactSolver::expected_consensus_time(pp::Count x0,
+                                                pp::Count x1) const {
+  KUSD_CHECK_MSG(x0 + x1 >= 1, "all-undecided start never converges");
+  KUSD_CHECK(x0 + x1 <= n_);
+  return expected_time_[index(x0, x1)];
+}
+
+double Usd2ExactSolver::win_probability(pp::Count x0, pp::Count x1) const {
+  KUSD_CHECK_MSG(x0 + x1 >= 1, "all-undecided start never converges");
+  KUSD_CHECK(x0 + x1 <= n_);
+  return win_prob_[index(x0, x1)];
+}
+
+}  // namespace kusd::analysis

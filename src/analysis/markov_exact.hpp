@@ -1,0 +1,48 @@
+// Exact finite-Markov-chain analysis of the 2-opinion USD for small n.
+//
+// The 2-opinion USD on n agents is a Markov chain on states (x0, x1) with
+// u = n - x0 - x1 implied. We solve the first-step linear systems for
+//   * the expected number of interactions to consensus, and
+//   * the probability that Opinion 0 wins,
+// by dense Gaussian elimination. This gives ground truth that the Monte
+// Carlo simulators are validated against (no asymptotics, no w.h.p.
+// hedging), and doubles as a check of the approximate-majority behavior:
+// the win probability as a function of the initial bias.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pp/configuration.hpp"
+
+namespace kusd::analysis {
+
+class Usd2ExactSolver {
+ public:
+  /// Builds and solves the chain for population size n (n <= 64 is
+  /// practical; cost grows as ~n^6). States with no decided agent are
+  /// excluded: they are unreachable from any state with a decided agent
+  /// and never reach consensus.
+  explicit Usd2ExactSolver(pp::Count n);
+
+  [[nodiscard]] pp::Count n() const { return n_; }
+
+  /// Expected interactions to consensus from (x0, x1), u = n - x0 - x1.
+  /// Requires x0 + x1 >= 1.
+  [[nodiscard]] double expected_consensus_time(pp::Count x0,
+                                               pp::Count x1) const;
+
+  /// Probability that Opinion 0 is the eventual consensus opinion.
+  [[nodiscard]] double win_probability(pp::Count x0, pp::Count x1) const;
+
+ private:
+  [[nodiscard]] std::size_t index(pp::Count x0, pp::Count x1) const;
+
+  pp::Count n_;
+  // Solved values per state; absorbing states included with time 0 and win
+  // probability 1/0.
+  std::vector<double> expected_time_;
+  std::vector<double> win_prob_;
+};
+
+}  // namespace kusd::analysis

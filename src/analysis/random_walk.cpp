@@ -1,0 +1,116 @@
+#include "analysis/random_walk.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace kusd::analysis {
+
+double gamblers_ruin_prob(double p, std::uint64_t a, std::uint64_t b) {
+  KUSD_CHECK_MSG(p > 0.0 && p < 1.0, "p must be in (0,1)");
+  KUSD_CHECK_MSG(a <= b, "start must be inside [0, b]");
+  if (a == 0) return 1.0;
+  if (a == b) return 0.0;
+  const double q = 1.0 - p;
+  if (std::abs(p - q) < 1e-12) {
+    return 1.0 - static_cast<double>(a) / static_cast<double>(b);
+  }
+  const double rho = q / p;
+  // (rho^b - rho^a) / (rho^b - 1); compute in a numerically stable way.
+  const double ra = std::pow(rho, static_cast<double>(a));
+  const double rb = std::pow(rho, static_cast<double>(b));
+  if (std::isinf(rb)) {
+    // rho > 1 and b huge: ruin prob -> 1 - rho^(a-b) ~ 1.
+    return 1.0;
+  }
+  return (rb - ra) / (rb - 1.0);
+}
+
+double gamblers_win_prob(double p, std::uint64_t a, std::uint64_t b) {
+  return 1.0 - gamblers_ruin_prob(p, a, b);
+}
+
+double gamblers_expected_duration(double p, std::uint64_t a, std::uint64_t b) {
+  KUSD_CHECK(p > 0.0 && p < 1.0);
+  KUSD_CHECK(a <= b);
+  const double q = 1.0 - p;
+  const double da = static_cast<double>(a);
+  const double db = static_cast<double>(b);
+  if (std::abs(p - q) < 1e-12) return da * (db - da);
+  // E[T] = a/(q-p) - b/(q-p) * (1 - rho^a)/(1 - rho^b), rho = q/p.
+  const double rho = q / p;
+  const double num = 1.0 - std::pow(rho, da);
+  const double den = 1.0 - std::pow(rho, db);
+  return da / (q - p) - db / (q - p) * (num / den);
+}
+
+double reflecting_tail(double p, double q, std::uint64_t m) {
+  KUSD_CHECK_MSG(p > 0.0 && q > p && p + q <= 1.0,
+                 "need 0 < p < q with p + q <= 1");
+  return std::pow(p / q, static_cast<double>(m));
+}
+
+double excess_failure_prob(double p, std::uint64_t b) {
+  KUSD_CHECK_MSG(p > 0.5 && p < 1.0, "needs success probability > 1/2");
+  return std::pow((1.0 - p) / p, static_cast<double>(b));
+}
+
+double drift_time_bound(double r, double s0, double smin, double delta) {
+  KUSD_CHECK(delta > 0.0 && s0 >= smin && smin > 0.0 && r >= 0.0);
+  return std::ceil((r + std::log(s0 / smin)) / delta);
+}
+
+bool simulate_gamblers_ruin(double p, std::uint64_t a, std::uint64_t b,
+                            rng::Rng& rng, std::uint64_t* steps) {
+  KUSD_CHECK(a <= b);
+  std::uint64_t pos = a;
+  std::uint64_t t = 0;
+  while (pos != 0 && pos != b) {
+    pos += rng.bernoulli(p) ? 1 : -1;
+    ++t;
+  }
+  if (steps != nullptr) *steps = t;
+  return pos == b;
+}
+
+std::uint64_t simulate_reflecting_max(double p, double q,
+                                      std::uint64_t horizon, rng::Rng& rng) {
+  std::uint64_t pos = 0, best = 0;
+  for (std::uint64_t t = 0; t < horizon; ++t) {
+    const double u = rng.uniform01();
+    if (pos == 0) {
+      if (u < p) pos = 1;
+    } else {
+      if (u < p) {
+        ++pos;
+      } else if (u < p + q) {
+        --pos;
+      }
+    }
+    best = std::max(best, pos);
+  }
+  return best;
+}
+
+std::uint64_t simulate_two_level_walk(double p0, std::uint64_t levels,
+                                      std::uint64_t max_steps,
+                                      rng::Rng& rng) {
+  std::uint64_t level = 0;
+  for (std::uint64_t t = 1; t <= max_steps; ++t) {
+    if (level == 0) {
+      if (rng.bernoulli(p0)) level = 1;
+    } else {
+      const double p_up =
+          1.0 - std::exp(-std::pow(2.0, static_cast<double>(level)));
+      if (rng.bernoulli(p_up)) {
+        ++level;
+      } else {
+        level = 0;
+      }
+    }
+    if (level >= levels) return t;
+  }
+  return max_steps;
+}
+
+}  // namespace kusd::analysis

@@ -1,0 +1,59 @@
+// Random-walk theory used by the paper's proofs (Appendix A), as executable
+// closed forms plus simulators to validate them against.
+#pragma once
+
+#include <cstdint>
+
+#include "rng/rng.hpp"
+
+namespace kusd::analysis {
+
+/// Gambler's ruin (Lemma 20): walk on [0, b] starting at a, +1 w.p. p,
+/// -1 w.p. 1-p, absorbing at 0 and b. Probability of absorbing at 0.
+[[nodiscard]] double gamblers_ruin_prob(double p, std::uint64_t a,
+                                        std::uint64_t b);
+
+/// Probability of absorbing at b (the "win"): 1 - gamblers_ruin_prob.
+[[nodiscard]] double gamblers_win_prob(double p, std::uint64_t a,
+                                       std::uint64_t b);
+
+/// Expected number of steps to absorption for the gambler's-ruin walk.
+[[nodiscard]] double gamblers_expected_duration(double p, std::uint64_t a,
+                                                std::uint64_t b);
+
+/// Lemma 18 tail: for the reflecting-barrier walk with up-probability p and
+/// down-probability q > p, the stationary probability of being >= m is
+/// (p/q)^m; and Pr[T_m <= n^c] <= n^c (p/q)^m.
+[[nodiscard]] double reflecting_tail(double p, double q, std::uint64_t m);
+
+/// Lemma 19: probability that failures ever exceed successes by b when each
+/// trial succeeds w.p. at least p: ((1-p)/p)^b.
+[[nodiscard]] double excess_failure_prob(double p, std::uint64_t b);
+
+/// Theorem 3 (multiplicative drift, Lengler): upper bound on the time for a
+/// process with drift E[X_t - X_{t+1} | X_t = s] >= delta * s to hit 0,
+/// holding with probability >= 1 - exp(-r):
+/// ceil((r + ln(s0/smin)) / delta).
+[[nodiscard]] double drift_time_bound(double r, double s0, double smin,
+                                      double delta);
+
+// ---- Simulators (exact walks, for validating the closed forms) ----
+
+/// Simulate one gambler's-ruin walk; returns true if absorbed at b
+/// ("win") and writes the number of steps to *steps if non-null.
+bool simulate_gamblers_ruin(double p, std::uint64_t a, std::uint64_t b,
+                            rng::Rng& rng, std::uint64_t* steps = nullptr);
+
+/// Simulate the reflecting-barrier walk of Lemma 18 for `horizon` steps
+/// starting at 0; returns the maximum level reached.
+std::uint64_t simulate_reflecting_max(double p, double q,
+                                      std::uint64_t horizon, rng::Rng& rng);
+
+/// Lemma 21 walk: states [0, levels], reflecting 0, absorbing at `levels`.
+/// From 0 step to 1 w.p. p0; from level l >= 1 step up w.p. 1 - exp(-2^l),
+/// else fall back to 0. Returns the number of steps until absorption
+/// (capped at `max_steps`).
+std::uint64_t simulate_two_level_walk(double p0, std::uint64_t levels,
+                                      std::uint64_t max_steps, rng::Rng& rng);
+
+}  // namespace kusd::analysis

@@ -1,0 +1,99 @@
+#include "analysis/transition_probs.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace kusd::analysis {
+
+namespace {
+double dn(const pp::Configuration& x) { return static_cast<double>(x.n()); }
+double du(const pp::Configuration& x) {
+  return static_cast<double>(x.undecided());
+}
+double dx(const pp::Configuration& x, int i) {
+  return static_cast<double>(x.opinion(i));
+}
+}  // namespace
+
+double p_minus(const pp::Configuration& x) {
+  const double n = dn(x), u = du(x);
+  return u * (n - u) / (n * n);
+}
+
+double p_plus(const pp::Configuration& x) {
+  const double n = dn(x), u = du(x);
+  return ((n - u) * (n - u) - x.sum_squares()) / (n * n);
+}
+
+double p_tilde_plus(const pp::Configuration& x) {
+  const double pm = p_minus(x), pp_ = p_plus(x);
+  KUSD_CHECK_MSG(pm + pp_ > 0.0, "no u-productive step possible");
+  return pp_ / (pm + pp_);
+}
+
+double u_star(pp::Count n, int k) {
+  KUSD_CHECK(k >= 1);
+  return static_cast<double>(n) * static_cast<double>(k - 1) /
+         static_cast<double>(2 * k - 1);
+}
+
+double p_i_plus(const pp::Configuration& x, int i) {
+  const double n = dn(x);
+  return du(x) * dx(x, i) / (n * n);
+}
+
+double p_i_minus(const pp::Configuration& x, int i) {
+  const double n = dn(x), u = du(x), xi = dx(x, i);
+  return xi * (n - u - xi) / (n * n);
+}
+
+double p_tilde_i_plus(const pp::Configuration& x, int i) {
+  const double plus = p_i_plus(x, i), minus = p_i_minus(x, i);
+  KUSD_CHECK(plus + minus > 0.0);
+  return plus / (plus + minus);
+}
+
+double p_ij_plus(const pp::Configuration& x, int i, int j) {
+  // Opinion i gains from an undecided responder, or opinion j loses a
+  // responder to the undecided state.
+  return p_i_plus(x, i) + p_i_minus(x, j);
+}
+
+double p_ij_minus(const pp::Configuration& x, int i, int j) {
+  return p_i_minus(x, i) + p_i_plus(x, j);
+}
+
+double p_tilde_ij_plus(const pp::Configuration& x, int i, int j) {
+  const double plus = p_ij_plus(x, i, j), minus = p_ij_minus(x, i, j);
+  KUSD_CHECK(plus + minus > 0.0);
+  return plus / (plus + minus);
+}
+
+double potential_z(const pp::Configuration& x) {
+  return dn(x) - 2.0 * du(x) - static_cast<double>(x.xmax());
+}
+
+double potential_z_alpha(const pp::Configuration& x, double alpha) {
+  return dn(x) - 2.0 * du(x) - alpha * static_cast<double>(x.xmax());
+}
+
+double expected_z_drift(const pp::Configuration& x) {
+  // From the Lemma 1 proof: conditioned on the interaction changing u,
+  // Z moves by -1/-2 (u up) or +1/+2 (u down) depending on whether the
+  // decided opinion involved has maximum support.
+  const double n = dn(x), u = du(x);
+  const pp::Count xmax = x.xmax();
+  double drift = 0.0;
+  for (int i = 0; i < x.k(); ++i) {
+    const double xi = dx(x, i);
+    const double weight = (x.opinion(i) == xmax) ? 1.0 : 2.0;
+    // u decreases (undecided adopts opinion i): Z increases by weight.
+    drift -= weight * xi * u / (n * n);
+    // u increases (responder of opinion i flips): Z decreases by weight.
+    drift += weight * xi * (n - u - xi) / (n * n);
+  }
+  return drift;
+}
+
+}  // namespace kusd::analysis

@@ -1,0 +1,67 @@
+// Closed-form USD transition probabilities from Appendix B of the paper
+// (Observations 6, 8, 9), the undecided equilibrium u*, and the potential
+// functions used throughout the phase analysis.
+//
+// These are the quantities the proofs manipulate; the property tests check
+// the simulators against them, and the benches report them next to the
+// measured trajectories.
+#pragma once
+
+#include "pp/configuration.hpp"
+
+namespace kusd::analysis {
+
+// ---- Observation 6: the number of undecided agents ----
+
+/// p-(t): probability the next interaction decreases u by one
+/// ( = u * (n - u) / n^2 ).
+[[nodiscard]] double p_minus(const pp::Configuration& x);
+
+/// p+(t): probability the next interaction increases u by one
+/// ( = ((n-u)^2 - r2) / n^2 ).
+[[nodiscard]] double p_plus(const pp::Configuration& x);
+
+/// p~+(t): probability u increases conditioned on a u-productive step.
+[[nodiscard]] double p_tilde_plus(const pp::Configuration& x);
+
+/// The unstable equilibrium u* = n (k-1) / (2k-1) (Lemma 3 discussion).
+[[nodiscard]] double u_star(pp::Count n, int k);
+
+// ---- Observation 8: a single opinion i ----
+
+/// Probability x_i increases by one in the next interaction (u x_i / n^2).
+[[nodiscard]] double p_i_plus(const pp::Configuration& x, int i);
+
+/// Probability x_i decreases by one (x_i (n - u - x_i) / n^2).
+[[nodiscard]] double p_i_minus(const pp::Configuration& x, int i);
+
+/// Probability x_i increases conditioned on x_i changing.
+[[nodiscard]] double p_tilde_i_plus(const pp::Configuration& x, int i);
+
+// ---- Observation 9: the difference x_i - x_j ----
+
+/// Probability x_i - x_j increases by one.
+[[nodiscard]] double p_ij_plus(const pp::Configuration& x, int i, int j);
+
+/// Probability x_i - x_j decreases by one.
+[[nodiscard]] double p_ij_minus(const pp::Configuration& x, int i, int j);
+
+/// Probability the difference increases conditioned on it changing.
+[[nodiscard]] double p_tilde_ij_plus(const pp::Configuration& x, int i,
+                                     int j);
+
+// ---- Potential functions ----
+
+/// Z(t) = n - 2u - xmax (Phase 1 / Lemma 1). Phase 1 ends when Z <= 0.
+[[nodiscard]] double potential_z(const pp::Configuration& x);
+
+/// Z_alpha(t) = n - 2u - alpha * xmax (Section 2.1; alpha = 7/8 in Phase 4).
+[[nodiscard]] double potential_z_alpha(const pp::Configuration& x,
+                                       double alpha);
+
+/// Expected one-step drift E[Z(t) - Z(t+1) | X(t) = x] of Z(t), computed
+/// exactly from the transition probabilities (the Lemma 1 proof shows this
+/// is >= Z(t) / (2n) when Z >= 0 and u < n/2).
+[[nodiscard]] double expected_z_drift(const pp::Configuration& x);
+
+}  // namespace kusd::analysis

@@ -1,0 +1,61 @@
+#include "core/bias.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace kusd::core {
+
+pp::Count additive_bias(const pp::Configuration& x) {
+  return x.xmax() - x.second_largest();
+}
+
+double multiplicative_bias(const pp::Configuration& x) {
+  const pp::Count second = x.second_largest();
+  if (second == 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(x.xmax()) / static_cast<double>(second);
+}
+
+double significance_threshold(pp::Count n, double alpha) {
+  const double dn = static_cast<double>(n);
+  return alpha * std::sqrt(dn * std::log(dn));
+}
+
+bool is_significant(const pp::Configuration& x, int i, double alpha) {
+  const double threshold = significance_threshold(x.n(), alpha);
+  return static_cast<double>(x.opinion(i)) >
+         static_cast<double>(x.xmax()) - threshold;
+}
+
+int significant_count(const pp::Configuration& x, double alpha) {
+  int count = 0;
+  for (int i = 0; i < x.k(); ++i) {
+    if (is_significant(x, i, alpha)) ++count;
+  }
+  KUSD_DCHECK(count >= 1);
+  return count;
+}
+
+bool is_important(const pp::Configuration& x, int i, double alpha) {
+  return is_significant(x, i, 4.0 * alpha);
+}
+
+double monochromatic_distance(const pp::Configuration& x) {
+  const double xmax = static_cast<double>(x.xmax());
+  KUSD_CHECK_MSG(xmax > 0.0, "md(x) undefined without decided agents");
+  return x.sum_squares() / (xmax * xmax);
+}
+
+double gossip_rate_bound(const pp::Configuration& x) {
+  return monochromatic_distance(x) * std::log2(static_cast<double>(x.n()));
+}
+
+double population_rate_bound(const pp::Configuration& x) {
+  const double n = static_cast<double>(x.n());
+  const double x1 = static_cast<double>(x.xmax());
+  KUSD_CHECK(x1 > 0.0);
+  return std::log2(n) + n / x1;
+}
+
+}  // namespace kusd::core

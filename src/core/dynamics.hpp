@@ -1,0 +1,120 @@
+// Baseline consensus dynamics from the paper's related-work section (1.2):
+// Voter (1-Majority), TwoChoices (lazy tie-break), 3-Majority, general
+// j-Majority, and the MedianRule. These are *sampling dynamics*: at each
+// activation one agent is chosen uniformly at random, samples j agents
+// uniformly at random (with replacement), and updates its opinion by the
+// rule. There is no undecided state.
+//
+// They are used by bench_baselines (E9) to place the USD's convergence
+// among its peers, exactly as the paper's introduction does.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pp/configuration.hpp"
+#include "rng/rng.hpp"
+#include "urn/urn.hpp"
+
+namespace kusd::core {
+
+/// One update rule of a sampling dynamic.
+class SamplingDynamics {
+ public:
+  virtual ~SamplingDynamics() = default;
+
+  /// Number of agents sampled per activation.
+  [[nodiscard]] virtual int sample_size() const = 0;
+
+  /// New opinion of the activated agent, given its own opinion and the
+  /// sampled opinions.
+  [[nodiscard]] virtual int update(int self, std::span<const int> sampled,
+                                   rng::Rng& rng) const = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+/// Voter / 1-Majority: adopt the sampled opinion.
+class VoterDynamics final : public SamplingDynamics {
+ public:
+  [[nodiscard]] int sample_size() const override { return 1; }
+  [[nodiscard]] int update(int self, std::span<const int> sampled,
+                           rng::Rng& rng) const override;
+  [[nodiscard]] std::string_view name() const override { return "Voter"; }
+};
+
+/// TwoChoices: sample two; adopt if they agree, otherwise keep your own
+/// opinion (lazy tie-breaking, as in Ghaffari & Lengler).
+class TwoChoicesDynamics final : public SamplingDynamics {
+ public:
+  [[nodiscard]] int sample_size() const override { return 2; }
+  [[nodiscard]] int update(int self, std::span<const int> sampled,
+                           rng::Rng& rng) const override;
+  [[nodiscard]] std::string_view name() const override {
+    return "TwoChoices";
+  }
+};
+
+/// j-Majority: sample j; adopt the majority opinion among the sample,
+/// breaking ties uniformly among the tied opinions. j = 3 is the classic
+/// 3-Majority dynamics.
+class JMajorityDynamics final : public SamplingDynamics {
+ public:
+  explicit JMajorityDynamics(int j);
+  [[nodiscard]] int sample_size() const override { return j_; }
+  [[nodiscard]] int update(int self, std::span<const int> sampled,
+                           rng::Rng& rng) const override;
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+ private:
+  int j_;
+  std::string name_;
+};
+
+/// MedianRule (Doerr et al.): opinions are ordered; adopt the median of
+/// {self, sampled[0], sampled[1]}.
+class MedianRuleDynamics final : public SamplingDynamics {
+ public:
+  [[nodiscard]] int sample_size() const override { return 2; }
+  [[nodiscard]] int update(int self, std::span<const int> sampled,
+                           rng::Rng& rng) const override;
+  [[nodiscard]] std::string_view name() const override {
+    return "MedianRule";
+  }
+};
+
+/// Sequential (asynchronous) scheduler for sampling dynamics: each step
+/// activates one uniformly random agent. Count-based, like the USD engine.
+class DynamicsScheduler {
+ public:
+  DynamicsScheduler(const SamplingDynamics& dynamics,
+                    const pp::Configuration& initial, rng::Rng rng);
+
+  void step();
+  /// Returns true iff consensus was reached within `max_activations`.
+  bool run_to_consensus(std::uint64_t max_activations);
+
+  [[nodiscard]] std::uint64_t activations() const { return activations_; }
+  [[nodiscard]] pp::Count n() const { return n_; }
+  [[nodiscard]] std::span<const pp::Count> counts() const {
+    return opinions_.counts();
+  }
+  [[nodiscard]] bool is_consensus() const { return winner_.has_value(); }
+  [[nodiscard]] int consensus_opinion() const { return *winner_; }
+
+ private:
+  const SamplingDynamics& dynamics_;
+  urn::Urn opinions_;
+  pp::Count n_;
+  rng::Rng rng_;
+  std::uint64_t activations_ = 0;
+  std::optional<int> winner_;
+  std::vector<int> sample_buffer_;
+};
+
+}  // namespace kusd::core

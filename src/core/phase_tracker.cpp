@@ -1,0 +1,76 @@
+#include "core/phase_tracker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace kusd::core {
+
+std::optional<std::uint64_t> PhaseTimes::phase_length(int p) const {
+  const auto bound = [&](int i) -> std::optional<std::uint64_t> {
+    switch (i) {
+      case 0: return 0;
+      case 1: return t1;
+      case 2: return t2;
+      case 3: return t3;
+      case 4: return t4;
+      case 5: return t5;
+      default: return std::nullopt;
+    }
+  };
+  KUSD_CHECK_MSG(p >= 1 && p <= 5, "phases are numbered 1..5");
+  const auto lo = bound(p - 1), hi = bound(p);
+  if (!lo || !hi) return std::nullopt;
+  return *hi - *lo;
+}
+
+PhaseTracker::PhaseTracker(pp::Count n, double alpha) : n_(n) {
+  const double dn = static_cast<double>(n);
+  threshold_ = alpha * std::sqrt(dn * std::log(dn));
+}
+
+void PhaseTracker::observe(std::uint64_t t,
+                           std::span<const pp::Count> opinions,
+                           pp::Count undecided) {
+  if (times_.complete()) return;
+  pp::Count total = undecided;
+  pp::Count xmax = 0, second = 0;
+  for (pp::Count c : opinions) {
+    total += c;
+    if (c >= xmax) {
+      second = xmax;
+      xmax = c;
+    } else {
+      second = std::max(second, c);
+    }
+  }
+  KUSD_CHECK_MSG(total == n_, "snapshot does not sum to n");
+
+  // Phase 1 end: u >= n/2 - xmax/2, i.e. 2u >= n - xmax.
+  if (!times_.t1) {
+    if (2 * undecided >= n_ - xmax) times_.t1 = t;
+  }
+  // Phase 2 end: a unique significant opinion — every other opinion is more
+  // than alpha*sqrt(n ln n) below xmax.
+  if (times_.t1 && !times_.t2) {
+    if (static_cast<double>(xmax) - static_cast<double>(second) >=
+        threshold_) {
+      times_.t2 = t;
+    }
+  }
+  // Phase 3 end: multiplicative bias >= 2 over every other opinion.
+  if (times_.t2 && !times_.t3) {
+    if (xmax >= 2 * second || second == 0) times_.t3 = t;
+  }
+  // Phase 4 end: absolute two-thirds majority.
+  if (times_.t3 && !times_.t4) {
+    if (3 * xmax >= 2 * n_) times_.t4 = t;
+  }
+  // Phase 5 end: consensus.
+  if (times_.t4 && !times_.t5) {
+    if (xmax == n_) times_.t5 = t;
+  }
+}
+
+}  // namespace kusd::core

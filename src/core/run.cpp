@@ -1,0 +1,57 @@
+#include "core/run.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/bias.hpp"
+#include "util/check.hpp"
+
+namespace kusd::core {
+
+std::uint64_t default_interaction_cap(pp::Count n, int k) {
+  const double dn = static_cast<double>(n);
+  const double cap = 64.0 * static_cast<double>(k) * dn * (std::log(dn) + 1.0);
+  return static_cast<std::uint64_t>(cap);
+}
+
+RunResult run_usd(const pp::Configuration& initial, std::uint64_t seed,
+                  RunOptions options) {
+  RunResult result;
+  result.initial_plurality = initial.argmax();
+  const std::uint64_t cap = options.max_interactions != 0
+                                ? options.max_interactions
+                                : default_interaction_cap(initial.n(),
+                                                          initial.k());
+
+  UsdSimulator sim(initial, rng::Rng(seed),
+                   UsdOptions{options.mode, options.engine});
+  if (options.track_phases) {
+    PhaseTracker tracker(initial.n(), options.alpha);
+    const std::uint64_t interval = options.observe_interval != 0
+                                       ? options.observe_interval
+                                       : std::max<std::uint64_t>(
+                                             1, initial.n() / 8);
+    result.converged = sim.run_observed(
+        cap, interval,
+        [&tracker](std::uint64_t t, std::span<const pp::Count> opinions,
+                   pp::Count undecided) {
+          tracker.observe(t, opinions, undecided);
+        });
+    result.phases = tracker.times();
+  } else {
+    result.converged = sim.run_to_consensus(cap);
+  }
+
+  result.interactions = sim.interactions();
+  result.parallel_time = static_cast<double>(sim.interactions()) /
+                         static_cast<double>(initial.n());
+  if (result.converged) {
+    result.winner = sim.consensus_opinion();
+    result.plurality_won = result.winner == result.initial_plurality;
+    result.winner_initially_significant =
+        is_significant(initial, result.winner, options.alpha);
+  }
+  return result;
+}
+
+}  // namespace kusd::core

@@ -1,0 +1,55 @@
+// High-level one-call runner: run the USD from an initial configuration,
+// track the five phases, and classify the outcome against the paper's
+// claims (did the initial plurality win? was the winner initially
+// significant?). This is the entry point the examples and most benches use.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/phase_tracker.hpp"
+#include "core/usd.hpp"
+#include "pp/configuration.hpp"
+
+namespace kusd::core {
+
+struct RunOptions {
+  /// Hard cap on interactions; 0 picks a generous default of
+  /// 64 * k * n * (ln n + 1) (several times the paper's O(k n log n)).
+  std::uint64_t max_interactions = 0;
+  StepMode mode = StepMode::kSkipUnproductive;
+  urn::UrnEngine engine = urn::UrnEngine::kAuto;
+  /// Track T1..T5; snapshots are taken every `observe_interval`
+  /// interactions (0 picks n/8, a resolution far below phase lengths).
+  bool track_phases = true;
+  std::uint64_t observe_interval = 0;
+  /// Significance constant alpha of the paper.
+  double alpha = 1.0;
+};
+
+struct RunResult {
+  bool converged = false;
+  /// Consensus opinion (valid iff converged).
+  int winner = -1;
+  /// Interactions until consensus (or the cap if not converged).
+  std::uint64_t interactions = 0;
+  /// Parallel time: interactions / n.
+  double parallel_time = 0.0;
+  PhaseTimes phases;
+
+  // Outcome vs the initial configuration:
+  int initial_plurality = -1;
+  bool plurality_won = false;
+  /// Whether the winner was significant at t = 0 (Theorem 2's no-bias
+  /// guarantee).
+  bool winner_initially_significant = false;
+};
+
+/// Default interaction cap used when RunOptions::max_interactions == 0.
+[[nodiscard]] std::uint64_t default_interaction_cap(pp::Count n, int k);
+
+/// Run the USD once from `initial` with a deterministic seed.
+[[nodiscard]] RunResult run_usd(const pp::Configuration& initial,
+                                std::uint64_t seed, RunOptions options = {});
+
+}  // namespace kusd::core

@@ -1,0 +1,76 @@
+#include "core/sync_usd.hpp"
+
+#include "util/check.hpp"
+
+namespace kusd::core {
+
+SyncUsd::SyncUsd(const pp::Configuration& initial, rng::Rng rng)
+    : opinions_(initial.opinions().begin(), initial.opinions().end()),
+      n_(initial.n()),
+      rng_(rng) {
+  KUSD_CHECK_MSG(initial.undecided() == 0,
+                 "the synchronized variant starts fully decided");
+  for (int i = 0; i < initial.k(); ++i) {
+    if (initial.opinion(i) == n_) winner_ = i;
+  }
+}
+
+std::uint64_t SyncUsd::super_round() {
+  KUSD_DCHECK(!winner_.has_value());
+  const std::size_t k = opinions_.size();
+  std::vector<double> weights(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    weights[j] = static_cast<double>(opinions_[j]);
+  }
+
+  // Phase A: one USD round over a fully decided population. An agent of
+  // opinion i keeps it iff the sampled partner shares it. In the (for
+  // non-trivial n astronomically unlikely) event that every agent becomes
+  // undecided, the round is re-run: the idealized synchronized process is
+  // only defined conditioned on at least one decided survivor.
+  std::vector<pp::Count> next(k, 0);
+  pp::Count undecided = 0;
+  do {
+    next.assign(k, 0);
+    undecided = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (opinions_[i] == 0) continue;
+      const auto partners = rng_.multinomial(opinions_[i], weights);
+      next[i] += partners[i];
+      undecided += opinions_[i] - partners[i];
+    }
+    ++total_rounds_;
+  } while (undecided == n_);
+
+  // Phase B: undecided agents repeatedly sample until they land on a
+  // decided agent, one synchronous sub-round per attempt.
+  std::uint64_t sub_rounds = 0;
+  while (undecided > 0) {
+    std::vector<double> w(k + 1);
+    for (std::size_t j = 0; j < k; ++j) {
+      w[j] = static_cast<double>(next[j]);
+    }
+    w[k] = static_cast<double>(undecided);
+    const auto partners = rng_.multinomial(undecided, w);
+    for (std::size_t j = 0; j < k; ++j) next[j] += partners[j];
+    undecided = partners[k];
+    ++sub_rounds;
+    ++total_rounds_;
+  }
+
+  opinions_ = std::move(next);
+  ++super_rounds_;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (opinions_[i] == n_) winner_ = static_cast<int>(i);
+  }
+  return sub_rounds;
+}
+
+bool SyncUsd::run_to_consensus(std::uint64_t max_super_rounds) {
+  while (!winner_.has_value() && super_rounds_ < max_super_rounds) {
+    super_round();
+  }
+  return winner_.has_value();
+}
+
+}  // namespace kusd::core

@@ -1,0 +1,133 @@
+#include "pp/configuration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace kusd::pp {
+
+Configuration::Configuration(std::vector<Count> opinion_counts,
+                             Count undecided)
+    : opinions_(std::move(opinion_counts)), undecided_(undecided) {
+  KUSD_CHECK_MSG(!opinions_.empty(), "need at least one opinion");
+  n_ = undecided_;
+  for (Count c : opinions_) n_ += c;
+  KUSD_CHECK_MSG(n_ > 0, "empty population");
+}
+
+Configuration Configuration::uniform(Count n, int k, Count undecided) {
+  KUSD_CHECK(k >= 1);
+  KUSD_CHECK_MSG(undecided <= n, "more undecided agents than agents");
+  const Count decided = n - undecided;
+  const auto uk = static_cast<Count>(k);
+  std::vector<Count> counts(static_cast<std::size_t>(k), decided / uk);
+  for (Count i = 0; i < decided % uk; ++i) ++counts[i];
+  return Configuration(std::move(counts), undecided);
+}
+
+Configuration Configuration::with_additive_bias(Count n, int k,
+                                                Count undecided, Count beta) {
+  KUSD_CHECK(k >= 2);
+  KUSD_CHECK(undecided <= n);
+  const Count decided = n - undecided;
+  KUSD_CHECK_MSG(beta <= decided, "bias exceeds decided agents");
+  const auto uk = static_cast<Count>(k);
+  const Count base = (decided - beta) / uk;
+  std::vector<Count> counts(static_cast<std::size_t>(k), base);
+  counts[0] = decided - base * (uk - 1);  // absorbs beta and the remainder
+  KUSD_CHECK(counts[0] >= base + beta);
+  return Configuration(std::move(counts), undecided);
+}
+
+Configuration Configuration::with_multiplicative_bias(Count n, int k,
+                                                      Count undecided,
+                                                      double alpha) {
+  KUSD_CHECK(k >= 2);
+  KUSD_CHECK(undecided <= n);
+  KUSD_CHECK_MSG(alpha > 1.0, "multiplicative bias must exceed 1");
+  const Count decided = n - undecided;
+  const double denom = alpha + static_cast<double>(k - 1);
+  const auto base = static_cast<Count>(
+      std::floor(static_cast<double>(decided) / denom));
+  KUSD_CHECK_MSG(base >= 1, "population too small for this bias");
+  std::vector<Count> counts(static_cast<std::size_t>(k), base);
+  counts[0] = decided - base * static_cast<Count>(k - 1);
+  KUSD_CHECK(static_cast<double>(counts[0]) >=
+             alpha * static_cast<double>(base));
+  return Configuration(std::move(counts), undecided);
+}
+
+Configuration Configuration::geometric(Count n, int k, Count undecided,
+                                       double ratio) {
+  KUSD_CHECK(k >= 1);
+  KUSD_CHECK(undecided <= n);
+  KUSD_CHECK_MSG(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0, 1]");
+  const Count decided = n - undecided;
+  std::vector<double> weights(static_cast<std::size_t>(k));
+  double w = 1.0, total = 0.0;
+  for (auto& x : weights) {
+    x = w;
+    total += w;
+    w *= ratio;
+  }
+  std::vector<Count> counts(static_cast<std::size_t>(k));
+  Count assigned = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = static_cast<Count>(std::floor(
+        static_cast<double>(decided) * weights[i] / total));
+    assigned += counts[i];
+  }
+  counts[0] += decided - assigned;  // remainder to the plurality opinion
+  return Configuration(std::move(counts), undecided);
+}
+
+Configuration Configuration::two_opinion(Count n, Count x0, Count undecided) {
+  KUSD_CHECK(x0 + undecided <= n);
+  return Configuration({x0, n - undecided - x0}, undecided);
+}
+
+std::vector<Count> Configuration::state_counts() const {
+  std::vector<Count> out(opinions_.begin(), opinions_.end());
+  out.push_back(undecided_);
+  return out;
+}
+
+Count Configuration::xmax() const {
+  return *std::max_element(opinions_.begin(), opinions_.end());
+}
+
+int Configuration::argmax() const {
+  return static_cast<int>(std::distance(
+      opinions_.begin(),
+      std::max_element(opinions_.begin(), opinions_.end())));
+}
+
+Count Configuration::second_largest() const {
+  if (k() < 2) return 0;
+  Count best = 0, second = 0;
+  for (Count c : opinions_) {
+    if (c >= best) {
+      second = best;
+      best = c;
+    } else if (c > second) {
+      second = c;
+    }
+  }
+  return second;
+}
+
+bool Configuration::is_consensus() const {
+  return undecided_ == 0 && xmax() == n_;
+}
+
+double Configuration::sum_squares() const {
+  double s = 0.0;
+  for (Count c : opinions_) {
+    const auto d = static_cast<double>(c);
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace kusd::pp

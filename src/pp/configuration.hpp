@@ -1,0 +1,83 @@
+// Configuration of the population: the count vector x = (x_1..x_k, u).
+//
+// This mirrors the paper's notation (Section 2): x_i(t) is the number of
+// agents holding Opinion i, u(t) the number of undecided agents, and
+// n = u + sum_i x_i is invariant. Opinions are 0-based in code (Opinion 1 of
+// the paper is index 0 when configurations are built sorted-descending, as
+// the paper assumes).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace kusd::pp {
+
+using Count = std::uint64_t;
+
+class Configuration {
+ public:
+  /// Build from explicit opinion counts plus the undecided count.
+  Configuration(std::vector<Count> opinion_counts, Count undecided);
+
+  // ---- Factories for the initial configurations the paper considers ----
+
+  /// Unbiased start: the n - undecided decided agents are split as evenly
+  /// as possible over k opinions (largest first).
+  static Configuration uniform(Count n, int k, Count undecided = 0);
+
+  /// Additive bias: x_0 >= x_i + beta for all i != 0, the remaining support
+  /// split evenly. Matches Theorem 2(2)'s precondition when
+  /// beta = Omega(sqrt(n log n)).
+  static Configuration with_additive_bias(Count n, int k, Count undecided,
+                                          Count beta);
+
+  /// Multiplicative bias: x_0 >= alpha * x_i for all i != 0 (alpha > 1),
+  /// the remaining support split evenly. Matches Theorem 2(1)'s
+  /// precondition with alpha = 1 + eps.
+  static Configuration with_multiplicative_bias(Count n, int k,
+                                                Count undecided, double alpha);
+
+  /// Geometric profile: x_i proportional to ratio^i (ratio in (0,1]); used
+  /// to sweep the monochromatic distance for the Appendix D comparison.
+  static Configuration geometric(Count n, int k, Count undecided,
+                                 double ratio);
+
+  /// Two-opinion convenience: (x0, n - undecided - x0, u).
+  static Configuration two_opinion(Count n, Count x0, Count undecided);
+
+  // ---- Accessors ----
+
+  [[nodiscard]] int k() const { return static_cast<int>(opinions_.size()); }
+  [[nodiscard]] Count n() const { return n_; }
+  [[nodiscard]] Count opinion(int i) const {
+    return opinions_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] Count undecided() const { return undecided_; }
+  [[nodiscard]] Count decided() const { return n_ - undecided_; }
+  [[nodiscard]] std::span<const Count> opinions() const { return opinions_; }
+
+  /// Counts of all k+1 states with the undecided state appended at index k,
+  /// the layout the schedulers use.
+  [[nodiscard]] std::vector<Count> state_counts() const;
+
+  /// Support of the currently largest opinion (x_max in the paper).
+  [[nodiscard]] Count xmax() const;
+  /// Index of a largest opinion (smallest index on ties, like max(t)).
+  [[nodiscard]] int argmax() const;
+  /// Support of the second-largest opinion (0 if k == 1).
+  [[nodiscard]] Count second_largest() const;
+
+  /// True iff some opinion is held by all n agents (Phase 5 end condition).
+  [[nodiscard]] bool is_consensus() const;
+
+  /// Sum of squared opinion supports, the r^2(t) of Appendix B.
+  [[nodiscard]] double sum_squares() const;
+
+ private:
+  std::vector<Count> opinions_;
+  Count undecided_ = 0;
+  Count n_ = 0;
+};
+
+}  // namespace kusd::pp

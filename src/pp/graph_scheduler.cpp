@@ -1,0 +1,53 @@
+#include "pp/graph_scheduler.hpp"
+
+#include "util/check.hpp"
+
+namespace kusd::pp {
+
+GraphScheduler::GraphScheduler(const PairProtocol& protocol,
+                               const InteractionGraph& graph,
+                               std::vector<int> initial_states, rng::Rng rng)
+    : protocol_(protocol),
+      graph_(graph),
+      states_(std::move(initial_states)),
+      counts_(static_cast<std::size_t>(protocol.num_states()), 0),
+      rng_(rng) {
+  KUSD_CHECK_MSG(states_.size() == graph.num_vertices(),
+                 "one initial state per vertex required");
+  for (int s : states_) {
+    KUSD_CHECK_MSG(s >= 0 && s < protocol.num_states(),
+                   "initial state out of range");
+    ++counts_[static_cast<std::size_t>(s)];
+  }
+}
+
+void GraphScheduler::step() {
+  const auto [responder, initiator] = graph_.sample_pair(rng_);
+  const int rs = states_[responder];
+  const int is = states_[initiator];
+  ++steps_;
+  const PairTransition next = protocol_.apply(rs, is);
+  if (next.responder != rs) {
+    states_[responder] = next.responder;
+    --counts_[static_cast<std::size_t>(rs)];
+    ++counts_[static_cast<std::size_t>(next.responder)];
+  }
+  if (next.initiator != is) {
+    states_[initiator] = next.initiator;
+    --counts_[static_cast<std::size_t>(is)];
+    ++counts_[static_cast<std::size_t>(next.initiator)];
+  }
+}
+
+std::uint64_t GraphScheduler::run_until(
+    const std::function<bool(std::span<const std::uint64_t>)>& stop,
+    std::uint64_t max_steps) {
+  std::uint64_t executed = 0;
+  while (executed < max_steps && !stop(counts_)) {
+    step();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace kusd::pp

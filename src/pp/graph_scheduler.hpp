@@ -1,0 +1,49 @@
+// Graph-restricted scheduler: one uniformly random edge per interaction.
+//
+// On the complete graph this is the standard population protocol scheduler
+// conditioned on responder != initiator (the paper's self-interactions are
+// unproductive for the USD, so the two models have identical productive
+// dynamics). On restricted topologies it generalizes the model the way the
+// cited graph literature does.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "pp/graph.hpp"
+#include "pp/protocol.hpp"
+#include "rng/rng.hpp"
+
+namespace kusd::pp {
+
+class GraphScheduler {
+ public:
+  /// `initial_states[v]` is the starting state of vertex v; values must be
+  /// in [0, protocol.num_states()).
+  GraphScheduler(const PairProtocol& protocol, const InteractionGraph& graph,
+                 std::vector<int> initial_states, rng::Rng rng);
+
+  void step();
+  std::uint64_t run_until(
+      const std::function<bool(std::span<const std::uint64_t>)>& stop,
+      std::uint64_t max_steps);
+
+  [[nodiscard]] std::uint64_t steps() const { return steps_; }
+  [[nodiscard]] std::span<const int> states() const { return states_; }
+  /// Per-state counts, maintained incrementally.
+  [[nodiscard]] std::span<const std::uint64_t> counts() const {
+    return counts_;
+  }
+
+ private:
+  const PairProtocol& protocol_;
+  const InteractionGraph& graph_;
+  std::vector<int> states_;
+  std::vector<std::uint64_t> counts_;
+  rng::Rng rng_;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace kusd::pp

@@ -1,0 +1,33 @@
+// Generic population-protocol interface.
+//
+// A population protocol is a transition function delta : Q x Q -> Q x Q
+// applied to a (responder, initiator) pair drawn uniformly at random with
+// replacement (the paper allows self-interaction). States are dense
+// integers in [0, num_states()).
+#pragma once
+
+#include <cstdint>
+
+namespace kusd::pp {
+
+/// Result of applying delta to (responder, initiator).
+struct PairTransition {
+  int responder;
+  int initiator;
+};
+
+/// Abstract transition function. Implementations must be pure (stateless
+/// w.r.t. the population) so schedulers may tabulate them.
+class PairProtocol {
+ public:
+  virtual ~PairProtocol() = default;
+
+  /// Number of agent states |Q|.
+  [[nodiscard]] virtual int num_states() const = 0;
+
+  /// delta(responder, initiator).
+  [[nodiscard]] virtual PairTransition apply(int responder,
+                                             int initiator) const = 0;
+};
+
+}  // namespace kusd::pp

@@ -1,0 +1,53 @@
+#include "pp/trajectory.hpp"
+
+#include "runner/csv.hpp"
+#include "util/check.hpp"
+
+namespace kusd::pp {
+
+Trajectory::Trajectory(std::size_t max_points) : max_points_(max_points) {
+  KUSD_CHECK_MSG(max_points >= 4, "need room for at least four points");
+  points_.reserve(max_points);
+}
+
+void Trajectory::record(std::uint64_t t, std::span<const Count> opinions,
+                        Count undecided) {
+  if (t < next_accept_) return;
+  next_accept_ = t + stride_;
+  TrajectoryPoint pt;
+  pt.t = t;
+  pt.undecided = undecided;
+  for (Count c : opinions) {
+    if (c >= pt.xmax) {
+      pt.second = pt.xmax;
+      pt.xmax = c;
+    } else if (c > pt.second) {
+      pt.second = c;
+    }
+    pt.sum_squares +=
+        static_cast<double>(c) * static_cast<double>(c);
+  }
+  points_.push_back(pt);
+  if (points_.size() >= max_points_) {
+    // Thin: keep every other point, double the stride.
+    std::vector<TrajectoryPoint> kept;
+    kept.reserve(max_points_ / 2 + 1);
+    for (std::size_t i = 0; i < points_.size(); i += 2) {
+      kept.push_back(points_[i]);
+    }
+    points_ = std::move(kept);
+    stride_ *= 2;
+  }
+}
+
+void Trajectory::write_csv(const std::string& path) const {
+  runner::CsvWriter csv(path,
+                        {"t", "undecided", "xmax", "second", "sum_squares"});
+  for (const auto& pt : points_) {
+    csv.write_row({std::to_string(pt.t), std::to_string(pt.undecided),
+                   std::to_string(pt.xmax), std::to_string(pt.second),
+                   std::to_string(pt.sum_squares)});
+  }
+}
+
+}  // namespace kusd::pp

@@ -1,0 +1,50 @@
+// Trajectory recorder: downsampled time series of a run, exportable to
+// CSV for external plotting. Used by phase_trace and the equilibrium
+// experiments.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pp/configuration.hpp"
+
+namespace kusd::pp {
+
+/// One recorded snapshot.
+struct TrajectoryPoint {
+  std::uint64_t t = 0;
+  Count undecided = 0;
+  Count xmax = 0;
+  Count second = 0;
+  double sum_squares = 0.0;
+};
+
+class Trajectory {
+ public:
+  /// Keep at most `max_points` snapshots; when full, every other stored
+  /// point is dropped and the acceptance stride doubles (so memory stays
+  /// bounded however long the run is, with uniform time coverage).
+  explicit Trajectory(std::size_t max_points = 4096);
+
+  /// Record a snapshot (call from a simulator observer).
+  void record(std::uint64_t t, std::span<const Count> opinions,
+              Count undecided);
+
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] const std::vector<TrajectoryPoint>& points() const {
+    return points_;
+  }
+
+  /// Write t, undecided, xmax, second, sum_squares rows to a CSV file.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::size_t max_points_;
+  std::uint64_t stride_ = 1;
+  std::uint64_t next_accept_ = 0;
+  std::vector<TrajectoryPoint> points_;
+};
+
+}  // namespace kusd::pp

@@ -1,0 +1,41 @@
+#include "protocols/classic.hpp"
+
+namespace kusd::protocols {
+
+pp::PairTransition ExactMajorityProtocol::apply(int responder,
+                                                int initiator) const {
+  // Strong opposites annihilate: the responder weakens, and (two-sided
+  // transition) the initiator weakens as well.
+  if (responder == kStrongA && initiator == kStrongB) {
+    return {kWeakA, kWeakB};
+  }
+  if (responder == kStrongB && initiator == kStrongA) {
+    return {kWeakB, kWeakA};
+  }
+  // A strong initiator converts a weak responder to its side.
+  if (initiator == kStrongA && (responder == kWeakA || responder == kWeakB)) {
+    return {kWeakA, initiator};
+  }
+  if (initiator == kStrongB && (responder == kWeakA || responder == kWeakB)) {
+    return {kWeakB, initiator};
+  }
+  return {responder, initiator};
+}
+
+pp::PairTransition LeaderElectionProtocol::apply(int responder,
+                                                 int initiator) const {
+  if (responder == kLeader && initiator == kLeader) {
+    return {kFollower, kLeader};
+  }
+  return {responder, initiator};
+}
+
+pp::PairTransition EpidemicProtocol::apply(int responder,
+                                           int initiator) const {
+  if (responder == kSusceptible && initiator == kInfected) {
+    return {kInfected, kInfected};
+  }
+  return {responder, initiator};
+}
+
+}  // namespace kusd::protocols

@@ -1,0 +1,72 @@
+// Classic population protocols referenced by the paper's related work
+// (Section 1.2), shipped as a zoo next to the USD:
+//
+//  * ExactMajorityProtocol — the 4-state exact majority protocol
+//    (Draief & Vojnovic / Mertzios et al.): always identifies the k = 2
+//    majority, even with initial margin 1, in expected O(n^2 log n)
+//    interactions on the complete graph. The USD solves only *approximate*
+//    majority but does so in O(n log n); putting both in one library makes
+//    the paper's trade-off executable.
+//  * LeaderElectionProtocol — the textbook pairwise-elimination leader
+//    election (L, L -> L, F): from n leaders to 1 in Theta(n^2)
+//    interactions; the primitive behind phase-clock constructions used by
+//    the synchronized USD variants [5, 7, 15, 30].
+//  * EpidemicProtocol — one-way epidemic (infected initiator infects the
+//    responder): broadcast completes in Theta(n log n) interactions, the
+//    canonical "parallel time O(log n)" yardstick of the model.
+#pragma once
+
+#include "pp/protocol.hpp"
+
+namespace kusd::protocols {
+
+/// 4-state exact majority: states A, B (strong) and a, b (weak).
+/// Encoded as A=0, B=1, a=2, b=3.
+///
+///   A + B -> a + b   (strong opposites annihilate to weak)
+///   A + b -> A + a   (strong converts weak; initiator-strong form)
+///   B + a -> B + b
+/// (only the responder changes per population-protocol convention; the
+/// rules above are applied with the responder as the left operand).
+class ExactMajorityProtocol final : public pp::PairProtocol {
+ public:
+  static constexpr int kStrongA = 0;
+  static constexpr int kStrongB = 1;
+  static constexpr int kWeakA = 2;
+  static constexpr int kWeakB = 3;
+
+  [[nodiscard]] int num_states() const override { return 4; }
+  [[nodiscard]] pp::PairTransition apply(int responder,
+                                         int initiator) const override;
+
+  /// True iff the state "believes" A (strong or weak).
+  [[nodiscard]] static bool believes_a(int state) {
+    return state == kStrongA || state == kWeakA;
+  }
+};
+
+/// Pairwise-elimination leader election: leader responder meeting a leader
+/// initiator becomes a follower.
+class LeaderElectionProtocol final : public pp::PairProtocol {
+ public:
+  static constexpr int kLeader = 0;
+  static constexpr int kFollower = 1;
+
+  [[nodiscard]] int num_states() const override { return 2; }
+  [[nodiscard]] pp::PairTransition apply(int responder,
+                                         int initiator) const override;
+};
+
+/// One-way epidemic: a susceptible responder meeting an infected initiator
+/// becomes infected.
+class EpidemicProtocol final : public pp::PairProtocol {
+ public:
+  static constexpr int kSusceptible = 0;
+  static constexpr int kInfected = 1;
+
+  [[nodiscard]] int num_states() const override { return 2; }
+  [[nodiscard]] pp::PairTransition apply(int responder,
+                                         int initiator) const override;
+};
+
+}  // namespace kusd::protocols

@@ -1,0 +1,81 @@
+#include "rng/rng.hpp"
+
+#include <cmath>
+#include <random>
+
+#include "util/check.hpp"
+
+namespace kusd::rng {
+
+std::uint64_t Rng::bounded(std::uint64_t bound) {
+  KUSD_DCHECK(bound > 0);
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t Rng::geometric_failures(double p) {
+  KUSD_CHECK_MSG(p > 0.0 && p <= 1.0, "geometric parameter out of range");
+  if (p == 1.0) return 0;
+  // Inversion: floor(log(U) / log(1-p)), U in (0,1].
+  double u = 1.0 - uniform01();  // (0, 1]
+  return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+std::uint64_t Rng::binomial(std::uint64_t n, double p) {
+  KUSD_CHECK_MSG(p >= 0.0 && p <= 1.0, "binomial probability out of range");
+  if (n == 0 || p == 0.0) return 0;
+  if (p == 1.0) return n;
+  std::binomial_distribution<std::uint64_t> dist(n, p);
+  return dist(*this);
+}
+
+std::vector<std::uint64_t> Rng::multinomial(std::uint64_t n,
+                                            std::span<const double> weights) {
+  std::vector<std::uint64_t> out(weights.size(), 0);
+  double remaining_weight = 0.0;
+  for (double w : weights) {
+    KUSD_CHECK_MSG(w >= 0.0, "multinomial weight must be non-negative");
+    remaining_weight += w;
+  }
+  std::uint64_t remaining = n;
+  for (std::size_t i = 0; i + 1 < weights.size() && remaining > 0; ++i) {
+    if (remaining_weight <= 0.0) break;
+    const double p = std::min(1.0, weights[i] / remaining_weight);
+    const std::uint64_t draw = binomial(remaining, p);
+    out[i] = draw;
+    remaining -= draw;
+    remaining_weight -= weights[i];
+  }
+  if (!weights.empty()) out.back() += remaining;
+  return out;
+}
+
+double Rng::normal() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * uniform01() - 1.0;
+    v = 2.0 * uniform01() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * factor;
+  has_spare_ = true;
+  return u * factor;
+}
+
+}  // namespace kusd::rng

@@ -1,0 +1,125 @@
+// Deterministic random-number substrate.
+//
+// The whole reproduction is seeded: every trial derives an independent
+// stream from (master_seed, trial_id) via SplitMix64, and all samplers are
+// built on xoshiro256++ (Blackman & Vigna), a fast, high-quality generator
+// whose state fits in four 64-bit words.
+//
+// Rng satisfies the C++ UniformRandomBitGenerator requirements, so it can
+// also drive standard-library distributions where convenient.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace kusd::rng {
+
+/// SplitMix64 step: the canonical 64-bit mixing function. Used for seeding
+/// and for deriving independent streams from a (seed, id) pair.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Derive a stream seed for trial `id` from a master seed. Distinct ids give
+/// (with overwhelming probability) non-overlapping generator states.
+[[nodiscard]] constexpr std::uint64_t derive_stream(std::uint64_t master_seed,
+                                                    std::uint64_t id) {
+  std::uint64_t s = master_seed ^ (0xA0761D6478BD642FULL * (id + 1));
+  std::uint64_t a = splitmix64(s);
+  std::uint64_t b = splitmix64(s);
+  return a ^ (b << 1);
+}
+
+/// xoshiro256++ generator with convenience samplers for every distribution
+/// the simulators need. Copyable (copies fork the stream deterministically).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0xD1B54A32D192ED03ULL) { reseed(seed); }
+
+  /// Re-initialize the state from a 64-bit seed via SplitMix64.
+  void reseed(std::uint64_t seed) {
+    for (auto& word : state_) word = splitmix64(seed);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  /// Next raw 64 bits.
+  result_type operator()() { return next_u64(); }
+
+  result_type next_u64() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform01() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift rejection
+  /// method (unbiased). bound must be positive.
+  std::uint64_t bounded(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    bounded(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return uniform01() < p; }
+
+  /// Number of failures before the first success of a Bernoulli(p) sequence
+  /// (support {0, 1, 2, ...}). Exact inversion; p must be in (0, 1].
+  std::uint64_t geometric_failures(double p);
+
+  /// Binomial(n, p) sample. Exact (inversion / BTPE via the standard
+  /// library); p in [0, 1].
+  std::uint64_t binomial(std::uint64_t n, double p);
+
+  /// Multinomial(n, weights): partition n into weights.size() buckets with
+  /// probabilities proportional to weights. Exact via sequential binomials.
+  std::vector<std::uint64_t> multinomial(std::uint64_t n,
+                                         std::span<const double> weights);
+
+  /// Standard normal via Marsaglia polar method.
+  double normal();
+
+  /// Fisher–Yates shuffle of a span.
+  template <typename T>
+  void shuffle(std::span<T> items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(bounded(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int s) {
+    return (x << s) | (x >> (64 - s));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  // Cached spare for normal().
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace kusd::rng

@@ -1,0 +1,40 @@
+#include "runner/csv.hpp"
+
+#include "util/check.hpp"
+
+namespace kusd::runner {
+
+namespace {
+std::string escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), width_(header.size()) {
+  KUSD_CHECK_MSG(out_.good(), "cannot open CSV output file: " + path);
+  write_cells(header);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  KUSD_CHECK_MSG(cells.size() == width_, "CSV row width mismatch");
+  write_cells(cells);
+}
+
+void CsvWriter::write_cells(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace kusd::runner

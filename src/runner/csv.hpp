@@ -1,0 +1,25 @@
+// CSV export so the benches' series can be re-plotted downstream.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace kusd::runner {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void write_row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  void write_cells(const std::vector<std::string>& cells);
+  std::ofstream out_;
+  std::size_t width_;
+};
+
+}  // namespace kusd::runner

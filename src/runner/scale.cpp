@@ -1,0 +1,29 @@
+#include "runner/scale.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace kusd::runner {
+
+double repro_scale() {
+  const char* env = std::getenv("REPRO_SCALE");
+  if (env == nullptr) return 1.0;
+  char* end = nullptr;
+  const double v = std::strtod(env, &end);
+  if (end == env || !(v > 0.0)) return 1.0;
+  return std::clamp(v, 0.05, 64.0);
+}
+
+std::uint64_t scaled(std::uint64_t base, std::uint64_t min_value) {
+  const double v = static_cast<double>(base) * repro_scale();
+  return std::max<std::uint64_t>(min_value,
+                                 static_cast<std::uint64_t>(v));
+}
+
+int scaled_trials(int base, int min_trials) {
+  const double v = static_cast<double>(base) * std::sqrt(repro_scale());
+  return std::max(min_trials, static_cast<int>(v));
+}
+
+}  // namespace kusd::runner

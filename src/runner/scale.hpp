@@ -1,0 +1,23 @@
+// Environment-controlled experiment scaling.
+//
+// All benches honor REPRO_SCALE (default 1.0): population sizes and trial
+// counts are multiplied by it, so `REPRO_SCALE=4 ./bench_phases` runs the
+// paper-scale version and `REPRO_SCALE=0.25 ...` a smoke-test version.
+#pragma once
+
+#include <cstdint>
+
+namespace kusd::runner {
+
+/// Value of REPRO_SCALE clamped to [0.05, 64]; 1.0 when unset or invalid.
+[[nodiscard]] double repro_scale();
+
+/// base * REPRO_SCALE, at least `min_value`.
+[[nodiscard]] std::uint64_t scaled(std::uint64_t base,
+                                   std::uint64_t min_value = 1);
+
+/// Trial count scaled by sqrt(REPRO_SCALE) (statistics need fewer extra
+/// trials than sizes), at least `min_trials`.
+[[nodiscard]] int scaled_trials(int base, int min_trials = 4);
+
+}  // namespace kusd::runner

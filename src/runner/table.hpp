@@ -1,0 +1,34 @@
+// ASCII table printer: the benches print paper-style rows with it.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace kusd::runner {
+
+/// Format helpers used by benches for uniform numeric rendering.
+[[nodiscard]] std::string fmt(double value, int precision = 3);
+[[nodiscard]] std::string fmt_int(std::uint64_t value);
+/// Compact scientific-ish rendering for large counts (e.g. "3.1e+07").
+[[nodiscard]] std::string fmt_compact(double value);
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] std::string to_string() const;
+  void print(std::ostream& os) const;
+  /// Print to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace kusd::runner

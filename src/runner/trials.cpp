@@ -1,0 +1,12 @@
+#include "runner/trials.hpp"
+
+namespace kusd::runner {
+
+stats::Samples run_trials_samples(
+    int trials, std::uint64_t master_seed,
+    const std::function<double(std::uint64_t)>& fn, std::size_t threads) {
+  return stats::Samples(
+      run_trials<double>(trials, master_seed, fn, threads));
+}
+
+}  // namespace kusd::runner

@@ -1,0 +1,43 @@
+// Parallel Monte-Carlo trial runner.
+//
+// Every trial gets a deterministic, independent seed derived from
+// (master_seed, trial_index), so experiment output is reproducible
+// regardless of thread scheduling: results are collected by index.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "rng/rng.hpp"
+#include "stats/summary.hpp"
+#include "util/thread_pool.hpp"
+
+namespace kusd::runner {
+
+/// Run `trials` independent invocations of fn(seed) in parallel and return
+/// the results in trial order.
+template <typename T>
+std::vector<T> run_trials(int trials, std::uint64_t master_seed,
+                          const std::function<T(std::uint64_t)>& fn,
+                          std::size_t threads = 0) {
+  std::vector<T> results(static_cast<std::size_t>(trials));
+  util::ThreadPool pool(threads);
+  for (int i = 0; i < trials; ++i) {
+    const std::uint64_t seed =
+        rng::derive_stream(master_seed, static_cast<std::uint64_t>(i));
+    pool.submit([&results, &fn, i, seed] {
+      results[static_cast<std::size_t>(i)] = fn(seed);
+    });
+  }
+  pool.wait_idle();
+  return results;
+}
+
+/// Convenience wrapper: run trials producing a double metric and collect
+/// them into a Samples.
+stats::Samples run_trials_samples(
+    int trials, std::uint64_t master_seed,
+    const std::function<double(std::uint64_t)>& fn, std::size_t threads = 0);
+
+}  // namespace kusd::runner

@@ -1,0 +1,50 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace kusd::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t num_bins)
+    : lo_(lo), hi_(hi), counts_(num_bins, 0) {
+  KUSD_CHECK_MSG(hi > lo, "histogram range must be non-empty");
+  KUSD_CHECK_MSG(num_bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) {
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::ptrdiff_t>(frac *
+                                         static_cast<double>(counts_.size()));
+  bin = std::clamp<std::ptrdiff_t>(
+      bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+std::string Histogram::render(std::size_t width) const {
+  const std::size_t peak =
+      *std::max_element(counts_.begin(), counts_.end());
+  std::string out;
+  char buf[64];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "[%10.3g, %10.3g) %8zu |", bin_lo(i),
+                  bin_hi(i), counts_[i]);
+    out += buf;
+    const std::size_t bar =
+        peak == 0 ? 0 : counts_[i] * width / peak;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace kusd::stats

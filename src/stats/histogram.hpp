@@ -1,0 +1,35 @@
+// Fixed-bin histogram with an ASCII rendering, used by examples and the
+// phase-trace tooling.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace kusd::stats {
+
+class Histogram {
+ public:
+  /// Bins span [lo, hi) equally; values outside are clamped to the edge bins.
+  Histogram(double lo, double hi, std::size_t num_bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t num_bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const {
+    return counts_[i];
+  }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+
+  /// Multi-line ASCII bar rendering (one line per bin).
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace kusd::stats

@@ -1,0 +1,47 @@
+#include "stats/regression.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace kusd::stats {
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  KUSD_CHECK_MSG(xs.size() == ys.size(), "x/y size mismatch");
+  KUSD_CHECK_MSG(xs.size() >= 2, "need at least two points");
+  const double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n, my = sy / n;
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx, dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  KUSD_CHECK_MSG(sxx > 0.0, "degenerate x values");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+LinearFit loglog_fit(std::span<const double> xs, std::span<const double> ys) {
+  KUSD_CHECK(xs.size() == ys.size());
+  std::vector<double> lx(xs.size()), ly(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    KUSD_CHECK_MSG(xs[i] > 0.0 && ys[i] > 0.0,
+                   "loglog_fit requires positive data");
+    lx[i] = std::log(xs[i]);
+    ly[i] = std::log(ys[i]);
+  }
+  return linear_fit(lx, ly);
+}
+
+}  // namespace kusd::stats

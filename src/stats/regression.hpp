@@ -1,0 +1,26 @@
+// Least-squares fits used to verify the paper's asymptotic bounds: we fit
+// scaling exponents from measured running times across n (or k) and check
+// the exponent matches the claimed power.
+#pragma once
+
+#include <span>
+
+namespace kusd::stats {
+
+/// Result of an ordinary least-squares fit y = intercept + slope * x.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Ordinary least-squares fit. Requires at least two points.
+[[nodiscard]] LinearFit linear_fit(std::span<const double> xs,
+                                   std::span<const double> ys);
+
+/// Fit y = C * x^e by regressing log y on log x; returns slope = e,
+/// intercept = log C. All inputs must be positive.
+[[nodiscard]] LinearFit loglog_fit(std::span<const double> xs,
+                                   std::span<const double> ys);
+
+}  // namespace kusd::stats

@@ -1,0 +1,115 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace kusd::stats {
+
+void Streaming::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double Streaming::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Streaming::stddev() const { return std::sqrt(variance()); }
+
+Samples::Samples(std::vector<double> values) : values_(std::move(values)) {}
+
+void Samples::add(double x) {
+  values_.push_back(x);
+  sorted_valid_ = false;
+}
+
+double Samples::mean() const {
+  KUSD_CHECK(!values_.empty());
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+double Samples::variance() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (double v : values_) s += (v - m) * (v - m);
+  return s / static_cast<double>(values_.size() - 1);
+}
+
+double Samples::stddev() const { return std::sqrt(variance()); }
+
+double Samples::min() const {
+  KUSD_CHECK(!values_.empty());
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Samples::max() const {
+  KUSD_CHECK(!values_.empty());
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+void Samples::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Samples::quantile(double q) const {
+  KUSD_CHECK(!values_.empty());
+  KUSD_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile out of range");
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_[0];
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double Samples::ci95_halfwidth() const {
+  if (values_.size() < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(values_.size()));
+}
+
+double ks_statistic(std::vector<double> a, std::vector<double> b) {
+  KUSD_CHECK(!a.empty() && !b.empty());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  std::size_t i = 0, j = 0;
+  double d = 0.0;
+  while (i < a.size() && j < b.size()) {
+    const double x = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] <= x) ++i;
+    while (j < b.size() && b[j] <= x) ++j;
+    d = std::max(d, std::abs(static_cast<double>(i) / na -
+                             static_cast<double>(j) / nb));
+  }
+  return d;
+}
+
+double ks_threshold(std::size_t n, std::size_t m, double alpha) {
+  KUSD_CHECK(alpha > 0.0 && alpha < 1.0);
+  const double c = std::sqrt(-0.5 * std::log(alpha / 2.0));
+  const double nn = static_cast<double>(n);
+  const double mm = static_cast<double>(m);
+  return c * std::sqrt((nn + mm) / (nn * mm));
+}
+
+}  // namespace kusd::stats

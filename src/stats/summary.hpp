@@ -1,0 +1,75 @@
+// Sample statistics used by the experiment harness and the property tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace kusd::stats {
+
+/// Welford streaming accumulator: mean/variance/min/max without storage.
+class Streaming {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  /// Unbiased sample variance (0 if fewer than two samples).
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stored samples: everything Streaming offers plus quantiles and
+/// confidence intervals.
+class Samples {
+ public:
+  Samples() = default;
+  explicit Samples(std::vector<double> values);
+
+  void add(double x);
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Empirical quantile with linear interpolation, q in [0, 1].
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+
+  /// Half-width of the normal-approximation 95% confidence interval of the
+  /// mean (1.96 * stddev / sqrt(n)); 0 for fewer than two samples.
+  [[nodiscard]] double ci95_halfwidth() const;
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// Two-sample Kolmogorov–Smirnov statistic (sup-distance between empirical
+/// CDFs). Used by the scheduler-equivalence property tests.
+[[nodiscard]] double ks_statistic(std::vector<double> a,
+                                  std::vector<double> b);
+
+/// Asymptotic two-sample KS acceptance threshold at significance `alpha`
+/// (e.g. 0.001): c(alpha) * sqrt((n+m)/(n*m)).
+[[nodiscard]] double ks_threshold(std::size_t n, std::size_t m, double alpha);
+
+}  // namespace kusd::stats

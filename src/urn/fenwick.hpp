@@ -1,0 +1,91 @@
+// Fenwick (binary-indexed) tree over non-negative 64-bit counts.
+//
+// Supports point updates and sampling an index proportionally to its count
+// in O(log k). This is the data structure behind the count-based population
+// protocol scheduler when the number of states is large.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace kusd::urn {
+
+class Fenwick {
+ public:
+  Fenwick() = default;
+
+  /// Build from initial counts in O(k).
+  explicit Fenwick(std::span<const std::uint64_t> counts) { assign(counts); }
+
+  /// Reset to the given counts in O(k).
+  void assign(std::span<const std::uint64_t> counts) {
+    size_ = counts.size();
+    tree_.assign(size_ + 1, 0);
+    total_ = 0;
+    for (std::size_t i = 0; i < size_; ++i) {
+      tree_[i + 1] += counts[i];
+      total_ += counts[i];
+      const std::size_t parent = (i + 1) + ((i + 1) & (~(i + 1) + 1));
+      if (parent <= size_) tree_[parent] += tree_[i + 1];
+    }
+    highest_pow2_ = 1;
+    while ((highest_pow2_ << 1) <= size_) highest_pow2_ <<= 1;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  /// Add `delta` (may be negative; the stored count must stay >= 0) to
+  /// index `i`. O(log k).
+  void add(std::size_t i, std::int64_t delta) {
+    KUSD_DCHECK(i < size_);
+    total_ = static_cast<std::uint64_t>(static_cast<std::int64_t>(total_) +
+                                        delta);
+    for (std::size_t j = i + 1; j <= size_; j += j & (~j + 1)) {
+      tree_[j] = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(tree_[j]) + delta);
+    }
+  }
+
+  /// Sum of counts[0..i] inclusive. O(log k).
+  [[nodiscard]] std::uint64_t prefix(std::size_t i) const {
+    KUSD_DCHECK(i < size_);
+    std::uint64_t sum = 0;
+    for (std::size_t j = i + 1; j > 0; j -= j & (~j + 1)) sum += tree_[j];
+    return sum;
+  }
+
+  /// Current count at index i. O(log k).
+  [[nodiscard]] std::uint64_t value(std::size_t i) const {
+    return prefix(i) - (i == 0 ? 0 : prefix(i - 1));
+  }
+
+  /// Smallest index i such that prefix(i) > r, for r in [0, total()).
+  /// This maps a uniform r to a category sampled proportionally to counts.
+  /// O(log k).
+  [[nodiscard]] std::size_t find(std::uint64_t r) const {
+    KUSD_DCHECK(r < total_);
+    std::size_t idx = 0;
+    std::size_t mask = highest_pow2_;
+    while (mask != 0) {
+      const std::size_t next = idx + mask;
+      if (next <= size_ && tree_[next] <= r) {
+        idx = next;
+        r -= tree_[next];
+      }
+      mask >>= 1;
+    }
+    return idx;  // idx is the zero-based category index
+  }
+
+ private:
+  std::vector<std::uint64_t> tree_;  // 1-based
+  std::size_t size_ = 0;
+  std::uint64_t total_ = 0;
+  std::size_t highest_pow2_ = 1;
+};
+
+}  // namespace kusd::urn

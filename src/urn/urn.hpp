@@ -1,0 +1,145 @@
+// Urn: category counts with weighted sampling.
+//
+// The population protocol schedulers never look at individual agents; the
+// configuration is a vector of counts per state, and picking a uniformly
+// random agent is sampling a category proportionally to its count. Two
+// interchangeable engines are provided:
+//
+//  * LinearUrn  — O(k) scan per sample; fastest for small k (cache-friendly).
+//  * FenwickUrn — O(log k) per sample and per update; wins for large k.
+//
+// Urn (the default) picks the engine at construction based on a size
+// threshold chosen from the ablation in bench_throughput.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "rng/rng.hpp"
+#include "urn/fenwick.hpp"
+#include "util/check.hpp"
+
+namespace kusd::urn {
+
+/// O(k)-sampling urn backed by a plain count array.
+class LinearUrn {
+ public:
+  explicit LinearUrn(std::span<const std::uint64_t> counts)
+      : counts_(counts.begin(), counts.end()) {
+    total_ = 0;
+    for (auto c : counts_) total_ += c;
+  }
+
+  [[nodiscard]] std::size_t size() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint64_t count(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] std::span<const std::uint64_t> counts() const {
+    return counts_;
+  }
+
+  void add(std::size_t i, std::int64_t delta) {
+    KUSD_DCHECK(delta >= 0 ||
+                counts_[i] >= static_cast<std::uint64_t>(-delta));
+    counts_[i] = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(counts_[i]) + delta);
+    total_ = static_cast<std::uint64_t>(static_cast<std::int64_t>(total_) +
+                                        delta);
+  }
+
+  /// Sample a category proportionally to its count.
+  [[nodiscard]] std::size_t sample(rng::Rng& rng) const {
+    return find(rng.bounded(total_));
+  }
+
+  /// Category owning position r, for r in [0, total()).
+  [[nodiscard]] std::size_t find(std::uint64_t r) const {
+    KUSD_DCHECK(r < total_);
+    for (std::size_t i = 0;; ++i) {
+      if (r < counts_[i]) return i;
+      r -= counts_[i];
+    }
+  }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// O(log k)-sampling urn backed by a Fenwick tree. Keeps a mirror count
+/// array so count() is O(1).
+class FenwickUrn {
+ public:
+  explicit FenwickUrn(std::span<const std::uint64_t> counts)
+      : counts_(counts.begin(), counts.end()), tree_(counts) {}
+
+  [[nodiscard]] std::size_t size() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t total() const { return tree_.total(); }
+  [[nodiscard]] std::uint64_t count(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] std::span<const std::uint64_t> counts() const {
+    return counts_;
+  }
+
+  void add(std::size_t i, std::int64_t delta) {
+    KUSD_DCHECK(delta >= 0 ||
+                counts_[i] >= static_cast<std::uint64_t>(-delta));
+    counts_[i] = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(counts_[i]) + delta);
+    tree_.add(i, delta);
+  }
+
+  [[nodiscard]] std::size_t sample(rng::Rng& rng) const {
+    KUSD_DCHECK(total() > 0);
+    return tree_.find(rng.bounded(total()));
+  }
+
+  [[nodiscard]] std::size_t find(std::uint64_t r) const {
+    return tree_.find(r);
+  }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  Fenwick tree_;
+};
+
+/// Engine selection for Urn.
+enum class UrnEngine {
+  kAuto,     ///< linear below kLinearThreshold categories, Fenwick above
+  kLinear,   ///< force LinearUrn
+  kFenwick,  ///< force FenwickUrn
+};
+
+/// Default engine crossover (categories). Chosen from bench_throughput.
+inline constexpr std::size_t kLinearThreshold = 64;
+
+/// Polymorphic-by-value urn: picks LinearUrn or FenwickUrn at construction.
+class Urn {
+ public:
+  explicit Urn(std::span<const std::uint64_t> counts,
+               UrnEngine engine = UrnEngine::kAuto);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t total() const;
+  [[nodiscard]] std::uint64_t count(std::size_t i) const;
+  [[nodiscard]] std::span<const std::uint64_t> counts() const;
+  [[nodiscard]] bool uses_fenwick() const { return fenwick_.has_value(); }
+
+  void add(std::size_t i, std::int64_t delta);
+  [[nodiscard]] std::size_t sample(rng::Rng& rng) const;
+  [[nodiscard]] std::size_t find(std::uint64_t r) const;
+
+  /// Move one unit from category `from` to category `to`.
+  void move(std::size_t from, std::size_t to) {
+    if (from == to) return;
+    add(from, -1);
+    add(to, +1);
+  }
+
+ private:
+  // Exactly one engaged, decided at construction.
+  std::optional<LinearUrn> linear_;
+  std::optional<FenwickUrn> fenwick_;
+};
+
+}  // namespace kusd::urn

@@ -1,0 +1,46 @@
+// Lightweight precondition / invariant checking.
+//
+// KUSD_CHECK is always on (it guards the public API against misuse and the
+// simulators against silent state corruption); KUSD_DCHECK compiles away in
+// release builds and is used on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace kusd::util {
+
+/// Thrown when a KUSD_CHECK precondition or invariant fails.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "KUSD_CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace kusd::util
+
+#define KUSD_CHECK(expr)                                               \
+  do {                                                                 \
+    if (!(expr)) ::kusd::util::check_failed(#expr, __FILE__, __LINE__, \
+                                            std::string{});            \
+  } while (false)
+
+#define KUSD_CHECK_MSG(expr, msg)                                      \
+  do {                                                                 \
+    if (!(expr)) ::kusd::util::check_failed(#expr, __FILE__, __LINE__, \
+                                            (msg));                    \
+  } while (false)
+
+#ifdef NDEBUG
+#define KUSD_DCHECK(expr) ((void)0)
+#else
+#define KUSD_DCHECK(expr) KUSD_CHECK(expr)
+#endif

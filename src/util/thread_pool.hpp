@@ -1,0 +1,50 @@
+// Minimal fixed-size thread pool used by the trial runner.
+//
+// Tasks are type-erased std::function<void()>; submit() returns immediately
+// and wait_idle() blocks until every submitted task has completed. The pool
+// joins its threads in the destructor (no detached threads).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kusd::util {
+
+class ThreadPool {
+ public:
+  /// Create a pool with `num_threads` workers (defaults to hardware
+  /// concurrency, at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  /// Enqueue a task. Thread-safe.
+  void submit(std::function<void()> task);
+
+  /// Block until the queue is empty and no task is running.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace kusd::util

@@ -1,0 +1,89 @@
+// Bias/significance measures (Section 2) and the Appendix D rate bounds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/bias.hpp"
+#include "pp/configuration.hpp"
+
+namespace kusd {
+namespace {
+
+using pp::Configuration;
+
+TEST(Bias, AdditiveBias) {
+  EXPECT_EQ(core::additive_bias(Configuration({50, 30, 20}, 0)), 20u);
+  EXPECT_EQ(core::additive_bias(Configuration({40, 40, 20}, 0)), 0u);
+}
+
+TEST(Bias, MultiplicativeBias) {
+  EXPECT_DOUBLE_EQ(core::multiplicative_bias(Configuration({60, 30, 10}, 0)),
+                   2.0);
+  EXPECT_TRUE(std::isinf(
+      core::multiplicative_bias(Configuration({60, 0}, 40))));
+}
+
+TEST(Bias, SignificanceThresholdScales) {
+  // threshold = alpha * sqrt(n ln n).
+  const double t1 = core::significance_threshold(10000, 1.0);
+  EXPECT_NEAR(t1, std::sqrt(10000.0 * std::log(10000.0)), 1e-9);
+  EXPECT_NEAR(core::significance_threshold(10000, 2.0), 2.0 * t1, 1e-9);
+}
+
+TEST(Bias, SignificantCounting) {
+  // n = 10000: threshold ~ 303.5 (alpha = 1).
+  Configuration x({3000, 2900, 2600, 100}, 1400);
+  EXPECT_TRUE(core::is_significant(x, 0, 1.0));
+  EXPECT_TRUE(core::is_significant(x, 1, 1.0));   // gap 100 < 303
+  EXPECT_FALSE(core::is_significant(x, 2, 1.0));  // gap 400 > 303
+  EXPECT_FALSE(core::is_significant(x, 3, 1.0));
+  EXPECT_EQ(core::significant_count(x, 1.0), 2);
+}
+
+TEST(Bias, ImportantUsesFourTimesThreshold) {
+  Configuration x({3000, 2600, 100}, 4300);  // n = 10000, gap 400
+  EXPECT_FALSE(core::is_significant(x, 1, 1.0));
+  EXPECT_TRUE(core::is_important(x, 1, 1.0));  // 400 < 4 * 303
+}
+
+TEST(Bias, PluralityAlwaysSignificant) {
+  for (int k : {2, 5, 17}) {
+    const auto x = Configuration::uniform(5000, k, 500);
+    EXPECT_TRUE(core::is_significant(x, x.argmax(), 1.0));
+    EXPECT_GE(core::significant_count(x, 1.0), 1);
+  }
+}
+
+TEST(Bias, MonochromaticDistanceRange) {
+  // md(x) in [1, k]; equals 1 at consensus-like, k at uniform.
+  EXPECT_DOUBLE_EQ(core::monochromatic_distance(Configuration({100, 0}, 0)),
+                   1.0);
+  EXPECT_DOUBLE_EQ(
+      core::monochromatic_distance(Configuration({25, 25, 25, 25}, 0)), 4.0);
+  const auto skew = Configuration({80, 40, 20}, 0);
+  const double md = core::monochromatic_distance(skew);
+  EXPECT_GT(md, 1.0);
+  EXPECT_LT(md, 3.0);
+  // Exact: (80^2 + 40^2 + 20^2)/80^2 = (6400+1600+400)/6400.
+  EXPECT_NEAR(md, 8400.0 / 6400.0, 1e-12);
+}
+
+TEST(Bias, AppendixDCrossover) {
+  // Appendix D: md(x) log n beats log n + n/x1 exactly when
+  // x1 > n log n / k (roughly). Verify the comparison flips across the
+  // boundary for a geometric family.
+  const pp::Count n = 1 << 20;
+  const int k = 64;
+  // Highly skewed: x1 large => gossip bound smaller.
+  const auto skewed = Configuration::geometric(n, k, 0, 0.5);
+  EXPECT_LT(core::gossip_rate_bound(skewed),
+            core::population_rate_bound(skewed) * 10.0);
+  // Flat: x1 ~ n/k is far below n log n / k => population bound wins.
+  const auto flat = Configuration::uniform(n, k, 0);
+  EXPECT_LT(core::population_rate_bound(flat),
+            core::gossip_rate_bound(flat));
+}
+
+}  // namespace
+}  // namespace kusd

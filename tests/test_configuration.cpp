@@ -1,0 +1,161 @@
+// Configuration: factory invariants and accessors.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <tuple>
+
+#include "pp/configuration.hpp"
+#include "util/check.hpp"
+
+namespace kusd {
+namespace {
+
+using pp::Configuration;
+using pp::Count;
+
+TEST(Configuration, ExplicitConstruction) {
+  Configuration x({5, 3, 2}, 4);
+  EXPECT_EQ(x.n(), 14u);
+  EXPECT_EQ(x.k(), 3);
+  EXPECT_EQ(x.undecided(), 4u);
+  EXPECT_EQ(x.decided(), 10u);
+  EXPECT_EQ(x.opinion(0), 5u);
+  EXPECT_EQ(x.xmax(), 5u);
+  EXPECT_EQ(x.argmax(), 0);
+  EXPECT_EQ(x.second_largest(), 3u);
+  EXPECT_FALSE(x.is_consensus());
+}
+
+TEST(Configuration, StateCountsLayout) {
+  Configuration x({5, 3}, 2);
+  const auto sc = x.state_counts();
+  ASSERT_EQ(sc.size(), 3u);
+  EXPECT_EQ(sc[0], 5u);
+  EXPECT_EQ(sc[1], 3u);
+  EXPECT_EQ(sc[2], 2u);
+}
+
+TEST(Configuration, ConsensusDetection) {
+  EXPECT_TRUE(Configuration({10, 0}, 0).is_consensus());
+  EXPECT_FALSE(Configuration({9, 0}, 1).is_consensus());
+  EXPECT_FALSE(Configuration({9, 1}, 0).is_consensus());
+}
+
+TEST(Configuration, SumSquares) {
+  Configuration x({3, 4}, 0);
+  EXPECT_DOUBLE_EQ(x.sum_squares(), 25.0);
+}
+
+TEST(Configuration, ArgmaxPrefersSmallestIndexOnTies) {
+  Configuration x({4, 4, 1}, 0);
+  EXPECT_EQ(x.argmax(), 0);
+}
+
+TEST(Configuration, SecondLargestWithDuplicates) {
+  EXPECT_EQ(Configuration({7, 7, 1}, 0).second_largest(), 7u);
+  EXPECT_EQ(Configuration({7}, 1).second_largest(), 0u);
+}
+
+TEST(Configuration, UniformSplitsEvenly) {
+  const auto x = Configuration::uniform(103, 5, 3);
+  EXPECT_EQ(x.n(), 103u);
+  EXPECT_EQ(x.undecided(), 3u);
+  Count total = 0;
+  for (int i = 0; i < 5; ++i) total += x.opinion(i);
+  EXPECT_EQ(total, 100u);
+  EXPECT_EQ(x.xmax() - *std::min_element(x.opinions().begin(),
+                                         x.opinions().end()),
+            0u);  // 100 divides evenly by 5
+  const auto y = Configuration::uniform(102, 5, 0);
+  EXPECT_LE(y.xmax() - *std::min_element(y.opinions().begin(),
+                                         y.opinions().end()),
+            1u);
+}
+
+TEST(Configuration, AdditiveBiasGuarantee) {
+  const auto x = Configuration::with_additive_bias(1000, 4, 100, 50);
+  EXPECT_EQ(x.n(), 1000u);
+  EXPECT_EQ(x.undecided(), 100u);
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_GE(x.opinion(0), x.opinion(i) + 50);
+  }
+  Count total = x.undecided();
+  for (int i = 0; i < 4; ++i) total += x.opinion(i);
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(Configuration, MultiplicativeBiasGuarantee) {
+  const auto x = Configuration::with_multiplicative_bias(1000, 4, 100, 1.5);
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_GE(static_cast<double>(x.opinion(0)),
+              1.5 * static_cast<double>(x.opinion(i)));
+  }
+}
+
+TEST(Configuration, GeometricProfileIsSortedDescending) {
+  const auto x = Configuration::geometric(10000, 6, 0, 0.5);
+  for (int i = 1; i < 6; ++i) {
+    EXPECT_GE(x.opinion(i - 1), x.opinion(i));
+  }
+  Count total = 0;
+  for (int i = 0; i < 6; ++i) total += x.opinion(i);
+  EXPECT_EQ(total, 10000u);
+}
+
+TEST(Configuration, GeometricRatioOneIsUniformish) {
+  const auto x = Configuration::geometric(1000, 4, 0, 1.0);
+  EXPECT_LE(x.xmax() - *std::min_element(x.opinions().begin(),
+                                         x.opinions().end()),
+            4u);
+}
+
+TEST(Configuration, TwoOpinion) {
+  const auto x = Configuration::two_opinion(100, 60, 10);
+  EXPECT_EQ(x.k(), 2);
+  EXPECT_EQ(x.opinion(0), 60u);
+  EXPECT_EQ(x.opinion(1), 30u);
+  EXPECT_EQ(x.undecided(), 10u);
+}
+
+TEST(Configuration, RejectsInvalidInput) {
+  EXPECT_THROW(Configuration({}, 5), util::CheckError);
+  EXPECT_THROW(Configuration::uniform(10, 3, 11), util::CheckError);
+  EXPECT_THROW(Configuration::with_additive_bias(10, 2, 0, 11),
+               util::CheckError);
+  EXPECT_THROW(Configuration::with_multiplicative_bias(10, 2, 0, 1.0),
+               util::CheckError);
+  EXPECT_THROW(Configuration::geometric(10, 2, 0, 0.0), util::CheckError);
+  EXPECT_THROW(Configuration::two_opinion(10, 8, 3), util::CheckError);
+}
+
+// Parameterized sweep over (n, k, undecided): every factory preserves mass.
+class ConfigurationSweep
+    : public ::testing::TestWithParam<std::tuple<Count, int, Count>> {};
+
+TEST_P(ConfigurationSweep, FactoriesConserveMass) {
+  const auto [n, k, u] = GetParam();
+  for (const auto& x :
+       {Configuration::uniform(n, k, u),
+        Configuration::with_additive_bias(n, k, u, (n - u) / 10),
+        Configuration::with_multiplicative_bias(n, k, u, 2.0),
+        Configuration::geometric(n, k, u, 0.7)}) {
+    Count total = x.undecided();
+    for (int i = 0; i < x.k(); ++i) total += x.opinion(i);
+    ASSERT_EQ(total, n);
+    ASSERT_EQ(x.k(), k);
+    ASSERT_EQ(x.argmax(), 0);  // all factories put the plurality first
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, ConfigurationSweep,
+    ::testing::Values(std::tuple<Count, int, Count>{100, 2, 0},
+                      std::tuple<Count, int, Count>{100, 2, 30},
+                      std::tuple<Count, int, Count>{1000, 5, 0},
+                      std::tuple<Count, int, Count>{1000, 10, 250},
+                      std::tuple<Count, int, Count>{99991, 31, 1000},
+                      std::tuple<Count, int, Count>{1000000, 64, 0}));
+
+}  // namespace
+}  // namespace kusd

@@ -1,0 +1,106 @@
+// Fenwick tree: randomized differential test against a brute-force mirror.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/rng.hpp"
+#include "urn/fenwick.hpp"
+
+namespace kusd {
+namespace {
+
+TEST(Fenwick, BuildAndPrefix) {
+  const std::vector<std::uint64_t> counts{5, 0, 3, 2, 7};
+  urn::Fenwick f(counts);
+  EXPECT_EQ(f.size(), 5u);
+  EXPECT_EQ(f.total(), 17u);
+  EXPECT_EQ(f.prefix(0), 5u);
+  EXPECT_EQ(f.prefix(1), 5u);
+  EXPECT_EQ(f.prefix(2), 8u);
+  EXPECT_EQ(f.prefix(4), 17u);
+}
+
+TEST(Fenwick, ValueRecoversCounts) {
+  const std::vector<std::uint64_t> counts{1, 4, 0, 9, 2, 2};
+  urn::Fenwick f(counts);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_EQ(f.value(i), counts[i]);
+  }
+}
+
+TEST(Fenwick, AddUpdatesPrefixAndTotal) {
+  std::vector<std::uint64_t> counts{3, 3, 3};
+  urn::Fenwick f(counts);
+  f.add(1, +5);
+  EXPECT_EQ(f.total(), 14u);
+  EXPECT_EQ(f.value(1), 8u);
+  f.add(1, -8);
+  EXPECT_EQ(f.value(1), 0u);
+  EXPECT_EQ(f.total(), 6u);
+}
+
+TEST(Fenwick, FindMapsPositionsToCategories) {
+  const std::vector<std::uint64_t> counts{2, 0, 3, 1};
+  urn::Fenwick f(counts);
+  // Positions: [0,1] -> 0; [2,4] -> 2; [5] -> 3.
+  EXPECT_EQ(f.find(0), 0u);
+  EXPECT_EQ(f.find(1), 0u);
+  EXPECT_EQ(f.find(2), 2u);
+  EXPECT_EQ(f.find(4), 2u);
+  EXPECT_EQ(f.find(5), 3u);
+}
+
+TEST(Fenwick, SingleCategory) {
+  const std::vector<std::uint64_t> counts{10};
+  urn::Fenwick f(counts);
+  EXPECT_EQ(f.find(0), 0u);
+  EXPECT_EQ(f.find(9), 0u);
+}
+
+// Property test across sizes: random adds and find() consistency with a
+// brute-force prefix scan.
+class FenwickSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FenwickSweep, MatchesBruteForce) {
+  const std::size_t k = GetParam();
+  rng::Rng r(1000 + k);
+  std::vector<std::uint64_t> mirror(k);
+  for (auto& c : mirror) c = r.bounded(20);
+  urn::Fenwick f(mirror);
+
+  for (int op = 0; op < 2000; ++op) {
+    // Random mutation.
+    const auto i = static_cast<std::size_t>(r.bounded(k));
+    if (r.bernoulli(0.5) && mirror[i] > 0) {
+      mirror[i] -= 1;
+      f.add(i, -1);
+    } else {
+      mirror[i] += 1;
+      f.add(i, +1);
+    }
+    // Spot-check invariants.
+    std::uint64_t total = 0;
+    for (auto c : mirror) total += c;
+    ASSERT_EQ(f.total(), total);
+    const auto j = static_cast<std::size_t>(r.bounded(k));
+    std::uint64_t prefix = 0;
+    for (std::size_t t = 0; t <= j; ++t) prefix += mirror[t];
+    ASSERT_EQ(f.prefix(j), prefix);
+    if (total > 0) {
+      const std::uint64_t pos = r.bounded(total);
+      // Brute-force find.
+      std::size_t expected = 0;
+      std::uint64_t acc = 0;
+      while (acc + mirror[expected] <= pos) acc += mirror[expected++];
+      ASSERT_EQ(f.find(pos), expected);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FenwickSweep,
+                         ::testing::Values(1, 2, 3, 7, 8, 33, 100, 257,
+                                           1024));
+
+}  // namespace
+}  // namespace kusd

@@ -1,0 +1,97 @@
+// Phase tracker: the five end conditions, ordering, and collapse behavior.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/phase_tracker.hpp"
+#include "util/check.hpp"
+
+namespace kusd {
+namespace {
+
+using core::PhaseTracker;
+using pp::Count;
+
+TEST(PhaseTracker, RecordsPhasesInOrder) {
+  // n = 10000, alpha = 1: significance threshold ~ 303.5.
+  PhaseTracker tracker(10000, 1.0);
+  // t=0: low undecided count, no phase ends.
+  tracker.observe(0, std::vector<Count>{3400, 3300, 3300}, 0);
+  EXPECT_FALSE(tracker.times().t1.has_value());
+  // t=100: u = 4000 >= (10000-2000)/2: T1.
+  tracker.observe(100, std::vector<Count>{2000, 2000, 2000}, 4000);
+  EXPECT_EQ(tracker.times().t1, 100u);
+  EXPECT_FALSE(tracker.times().t2.has_value());
+  // t=200: unique significant opinion (gap 400 > threshold): T2.
+  tracker.observe(200, std::vector<Count>{2400, 2000, 1600}, 4000);
+  EXPECT_EQ(tracker.times().t2, 200u);
+  // t=300: xmax >= 2 * second: T3.
+  tracker.observe(300, std::vector<Count>{4000, 1900, 100}, 4000);
+  EXPECT_EQ(tracker.times().t3, 300u);
+  // t=400: xmax >= 2n/3: T4.
+  tracker.observe(400, std::vector<Count>{6700, 300, 0}, 3000);
+  EXPECT_EQ(tracker.times().t4, 400u);
+  // t=500: consensus: T5.
+  tracker.observe(500, std::vector<Count>{10000, 0, 0}, 0);
+  EXPECT_EQ(tracker.times().t5, 500u);
+  EXPECT_TRUE(tracker.complete());
+}
+
+TEST(PhaseTracker, PhasesCollapseOnStronglyBiasedSnapshot) {
+  PhaseTracker tracker(10000, 1.0);
+  // A single snapshot satisfying every condition at once.
+  tracker.observe(7, std::vector<Count>{10000, 0, 0}, 0);
+  EXPECT_EQ(tracker.times().t1, 7u);
+  EXPECT_EQ(tracker.times().t2, 7u);
+  EXPECT_EQ(tracker.times().t3, 7u);
+  EXPECT_EQ(tracker.times().t4, 7u);
+  EXPECT_EQ(tracker.times().t5, 7u);
+}
+
+TEST(PhaseTracker, LaterPhaseWaitsForEarlierOnes) {
+  PhaseTracker tracker(10000, 1.0);
+  // Snapshot satisfies the T3 predicate (ratio >= 2) but not T1/T2:
+  // u = 0 and gap below the significance threshold is impossible here, so
+  // craft: big ratio but u too small for T1.
+  tracker.observe(0, std::vector<Count>{9000, 1000, 0}, 0);
+  // T1: 2u=0 >= n - xmax = 1000? No.
+  EXPECT_FALSE(tracker.times().t1.has_value());
+  EXPECT_FALSE(tracker.times().t3.has_value());
+  // Next snapshot: now T1 (and the rest) can fire.
+  tracker.observe(10, std::vector<Count>{8000, 500, 0}, 1500);
+  EXPECT_EQ(tracker.times().t1, 10u);
+  EXPECT_EQ(tracker.times().t2, 10u);
+  EXPECT_EQ(tracker.times().t3, 10u);
+  EXPECT_EQ(tracker.times().t4, 10u);
+  EXPECT_FALSE(tracker.times().t5.has_value());
+}
+
+TEST(PhaseTracker, PhaseLengths) {
+  PhaseTracker tracker(10000, 1.0);
+  tracker.observe(50, std::vector<Count>{2000, 2000, 2000}, 4000);
+  tracker.observe(250, std::vector<Count>{2500, 2000, 1500}, 4000);
+  const auto& times = tracker.times();
+  EXPECT_EQ(times.phase_length(1), 50u);
+  EXPECT_EQ(times.phase_length(2), 200u);
+  EXPECT_FALSE(times.phase_length(3).has_value());
+  EXPECT_THROW(times.phase_length(0), util::CheckError);
+  EXPECT_THROW(times.phase_length(6), util::CheckError);
+}
+
+TEST(PhaseTracker, RejectsBadSnapshot) {
+  PhaseTracker tracker(100, 1.0);
+  EXPECT_THROW(tracker.observe(0, std::vector<Count>{10, 10}, 10),
+               util::CheckError);
+}
+
+TEST(PhaseTracker, IgnoresSnapshotsAfterCompletion) {
+  PhaseTracker tracker(100, 1.0);
+  tracker.observe(5, std::vector<Count>{100, 0}, 0);
+  ASSERT_TRUE(tracker.complete());
+  // Sum check would fail, but completed trackers ignore input.
+  tracker.observe(6, std::vector<Count>{1, 0}, 0);
+  EXPECT_EQ(tracker.times().t5, 5u);
+}
+
+}  // namespace
+}  // namespace kusd

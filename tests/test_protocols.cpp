@@ -1,0 +1,134 @@
+// The classic protocol zoo: exact majority, leader election, epidemic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "pp/scheduler.hpp"
+#include "protocols/classic.hpp"
+#include "rng/rng.hpp"
+
+namespace kusd {
+namespace {
+
+using protocols::EpidemicProtocol;
+using protocols::ExactMajorityProtocol;
+using protocols::LeaderElectionProtocol;
+
+TEST(ExactMajority, TransitionRules) {
+  ExactMajorityProtocol p;
+  // Strong opposites annihilate both sides.
+  auto t = p.apply(ExactMajorityProtocol::kStrongA,
+                   ExactMajorityProtocol::kStrongB);
+  EXPECT_EQ(t.responder, ExactMajorityProtocol::kWeakA);
+  EXPECT_EQ(t.initiator, ExactMajorityProtocol::kWeakB);
+  // Strong initiator converts weak responder.
+  t = p.apply(ExactMajorityProtocol::kWeakB,
+              ExactMajorityProtocol::kStrongA);
+  EXPECT_EQ(t.responder, ExactMajorityProtocol::kWeakA);
+  // Same-side pairs are unproductive.
+  t = p.apply(ExactMajorityProtocol::kStrongA,
+              ExactMajorityProtocol::kStrongA);
+  EXPECT_EQ(t.responder, ExactMajorityProtocol::kStrongA);
+  t = p.apply(ExactMajorityProtocol::kWeakA,
+              ExactMajorityProtocol::kWeakB);
+  EXPECT_EQ(t.responder, ExactMajorityProtocol::kWeakA);
+}
+
+// The headline property: exact majority is ALWAYS correct, even with an
+// initial margin of one agent — the contrast with the USD's
+// Omega(sqrt(n log n)) requirement.
+class ExactMajoritySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactMajoritySweep, MarginOfOneAlwaysWins) {
+  const std::uint64_t n = GetParam();
+  ExactMajorityProtocol protocol;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    // (n/2 + 1) strong A vs (n/2 - 1)... keep margin exactly 1 when odd.
+    const std::uint64_t a = n / 2 + 1;
+    const std::uint64_t b = n - a;
+    ASSERT_GT(a, b);
+    const std::vector<std::uint64_t> init{a, b, 0, 0};
+    pp::CountScheduler sched(protocol, init, rng::Rng(seed));
+    const auto done = [](std::span<const std::uint64_t> c) {
+      // Converged when no strong B remains and everyone believes A
+      // (states kStrongA or kWeakA), or symmetrically for B.
+      const bool all_a = c[1] == 0 && c[3] == 0;
+      const bool all_b = c[0] == 0 && c[2] == 0;
+      return all_a || all_b;
+    };
+    sched.run_until(done, 50'000'000);
+    // A must win: every agent believes A.
+    EXPECT_EQ(sched.counts()[1], 0u) << "n=" << n << " seed=" << seed;
+    EXPECT_EQ(sched.counts()[3], 0u) << "n=" << n << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ExactMajoritySweep,
+                         ::testing::Values(11, 51, 101, 501));
+
+TEST(ExactMajority, BelievesHelper) {
+  EXPECT_TRUE(ExactMajorityProtocol::believes_a(
+      ExactMajorityProtocol::kStrongA));
+  EXPECT_TRUE(ExactMajorityProtocol::believes_a(
+      ExactMajorityProtocol::kWeakA));
+  EXPECT_FALSE(ExactMajorityProtocol::believes_a(
+      ExactMajorityProtocol::kStrongB));
+  EXPECT_FALSE(ExactMajorityProtocol::believes_a(
+      ExactMajorityProtocol::kWeakB));
+}
+
+TEST(LeaderElection, ExactlyOneLeaderSurvives) {
+  LeaderElectionProtocol protocol;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const std::vector<std::uint64_t> init{200, 0};  // all leaders
+    pp::CountScheduler sched(protocol, init, rng::Rng(seed));
+    sched.run_until(
+        [](std::span<const std::uint64_t> c) { return c[0] == 1; },
+        10'000'000);
+    EXPECT_EQ(sched.counts()[0], 1u);
+    EXPECT_EQ(sched.counts()[1], 199u);
+  }
+}
+
+TEST(LeaderElection, LeaderCountIsMonotoneNonIncreasing) {
+  LeaderElectionProtocol protocol;
+  const std::vector<std::uint64_t> init{50, 50};
+  pp::CountScheduler sched(protocol, init, rng::Rng(3));
+  std::uint64_t prev = 50;
+  for (int i = 0; i < 20000; ++i) {
+    sched.step();
+    ASSERT_LE(sched.counts()[0], prev);
+    prev = sched.counts()[0];
+  }
+}
+
+TEST(Epidemic, InfectsEveryoneInNLogNish) {
+  EpidemicProtocol protocol;
+  const std::uint64_t n = 10000;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const std::vector<std::uint64_t> init{n - 1, 1};
+    pp::CountScheduler sched(protocol, init, rng::Rng(seed));
+    sched.run_until(
+        [n](std::span<const std::uint64_t> c) { return c[1] == n; },
+        100'000'000);
+    EXPECT_EQ(sched.counts()[1], n);
+    // Theta(n log n) with a small constant; allow a wide band.
+    const double nlogn = static_cast<double>(n) *
+                         std::log(static_cast<double>(n));
+    EXPECT_LT(static_cast<double>(sched.steps()), 10.0 * nlogn);
+    EXPECT_GT(static_cast<double>(sched.steps()), 0.3 * nlogn);
+  }
+}
+
+TEST(Epidemic, NoSpontaneousInfection) {
+  EpidemicProtocol protocol;
+  const std::vector<std::uint64_t> init{100, 0};
+  pp::CountScheduler sched(protocol, init, rng::Rng(1));
+  for (int i = 0; i < 10000; ++i) sched.step();
+  EXPECT_EQ(sched.counts()[1], 0u);
+}
+
+}  // namespace
+}  // namespace kusd

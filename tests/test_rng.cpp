@@ -1,0 +1,221 @@
+// Unit and property tests for the RNG substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "rng/rng.hpp"
+#include "util/check.hpp"
+
+namespace kusd {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  rng::Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  rng::Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, DeriveStreamProducesDistinctSeeds) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t id = 0; id < 10000; ++id) {
+    seen.insert(rng::derive_stream(123456789, id));
+  }
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(Rng, Uniform01InRange) {
+  rng::Rng r(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = r.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanAndVariance) {
+  rng::Rng r(11);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double u = r.uniform01();
+    sum += u;
+    sum_sq += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, BoundedStaysInRangeAndCoversAllValues) {
+  rng::Rng r(13);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t v = r.bounded(10);
+    ASSERT_LT(v, 10u);
+    ++hits[static_cast<std::size_t>(v)];
+  }
+  for (int h : hits) {
+    // Chi-square-ish sanity: each bucket within 10% of the expected 10000.
+    EXPECT_NEAR(h, 10000, 1000);
+  }
+}
+
+TEST(Rng, BoundedOneAlwaysZero) {
+  rng::Rng r(17);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.bounded(1), 0u);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  rng::Rng r(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, GeometricFailuresMeanMatches) {
+  // E[failures] = (1-p)/p.
+  rng::Rng r(23);
+  const double p = 0.2;
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(r.geometric_failures(p));
+  }
+  EXPECT_NEAR(sum / n, (1.0 - p) / p, 0.08);
+}
+
+TEST(Rng, GeometricWithPOneIsZero) {
+  rng::Rng r(27);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.geometric_failures(1.0), 0u);
+}
+
+TEST(Rng, GeometricRejectsInvalidP) {
+  rng::Rng r(29);
+  EXPECT_THROW(r.geometric_failures(0.0), util::CheckError);
+  EXPECT_THROW(r.geometric_failures(1.5), util::CheckError);
+}
+
+TEST(Rng, BinomialMeanAndVariance) {
+  rng::Rng r(31);
+  const std::uint64_t n = 1000;
+  const double p = 0.25;
+  const int trials = 20000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    const double v = static_cast<double>(r.binomial(n, p));
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / trials;
+  const double var = sum_sq / trials - mean * mean;
+  EXPECT_NEAR(mean, 250.0, 2.0);
+  EXPECT_NEAR(var, 1000 * 0.25 * 0.75, 15.0);
+}
+
+TEST(Rng, BinomialEdgeCases) {
+  rng::Rng r(37);
+  EXPECT_EQ(r.binomial(0, 0.5), 0u);
+  EXPECT_EQ(r.binomial(100, 0.0), 0u);
+  EXPECT_EQ(r.binomial(100, 1.0), 100u);
+}
+
+TEST(Rng, MultinomialPreservesTotal) {
+  rng::Rng r(41);
+  const std::vector<double> weights{3.0, 1.0, 0.0, 2.0};
+  for (int i = 0; i < 200; ++i) {
+    const auto parts = r.multinomial(1000, weights);
+    ASSERT_EQ(parts.size(), weights.size());
+    EXPECT_EQ(std::accumulate(parts.begin(), parts.end(), std::uint64_t{0}),
+              1000u);
+    EXPECT_EQ(parts[2], 0u);  // zero-weight bucket stays empty
+  }
+}
+
+TEST(Rng, MultinomialProportions) {
+  rng::Rng r(43);
+  const std::vector<double> weights{1.0, 2.0, 1.0};
+  std::vector<double> totals(3, 0.0);
+  const int trials = 500;
+  for (int i = 0; i < trials; ++i) {
+    const auto parts = r.multinomial(4000, weights);
+    for (std::size_t j = 0; j < 3; ++j) {
+      totals[j] += static_cast<double>(parts[j]);
+    }
+  }
+  EXPECT_NEAR(totals[0] / trials, 1000.0, 20.0);
+  EXPECT_NEAR(totals[1] / trials, 2000.0, 20.0);
+  EXPECT_NEAR(totals[2] / trials, 1000.0, 20.0);
+}
+
+TEST(Rng, NormalMoments) {
+  rng::Rng r(47);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  rng::Rng r(53);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  r.shuffle(std::span<int>(v));
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Rng, ShuffleFirstPositionUniform) {
+  rng::Rng r(59);
+  std::vector<int> hits(5, 0);
+  for (int t = 0; t < 50000; ++t) {
+    std::vector<int> v{0, 1, 2, 3, 4};
+    r.shuffle(std::span<int>(v));
+    ++hits[static_cast<std::size_t>(v[0])];
+  }
+  for (int h : hits) EXPECT_NEAR(h, 10000, 700);
+}
+
+// Parameterized sweep: bounded() must be unbiased for awkward bounds.
+class RngBoundedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBoundedSweep, MeanMatchesUniform) {
+  const std::uint64_t bound = GetParam();
+  rng::Rng r(61 + bound);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(r.bounded(bound));
+  }
+  const double expected = static_cast<double>(bound - 1) / 2.0;
+  const double sigma = static_cast<double>(bound) / std::sqrt(12.0 * n);
+  EXPECT_NEAR(sum / n, expected, 6.0 * sigma + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundedSweep,
+                         ::testing::Values(2, 3, 7, 10, 100, 1000, 65537,
+                                           1000003));
+
+}  // namespace
+}  // namespace kusd

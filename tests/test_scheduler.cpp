@@ -1,0 +1,133 @@
+// Generic scheduler tests: conservation, equivalence of count- and
+// agent-based engines, and the untabulated (virtual dispatch) path.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/usd.hpp"
+#include "pp/scheduler.hpp"
+#include "rng/rng.hpp"
+#include "stats/summary.hpp"
+#include "util/check.hpp"
+
+namespace kusd {
+namespace {
+
+std::uint64_t total(std::span<const std::uint64_t> counts) {
+  return std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+}
+
+TEST(CountScheduler, ConservesPopulation) {
+  core::UsdProtocol usd(3);
+  const std::vector<std::uint64_t> init{40, 30, 20, 10};
+  pp::CountScheduler sched(usd, init, rng::Rng(1));
+  for (int i = 0; i < 5000; ++i) {
+    sched.step();
+    ASSERT_EQ(total(sched.counts()), 100u);
+  }
+  EXPECT_EQ(sched.steps(), 5000u);
+}
+
+TEST(AgentScheduler, ConservesPopulationAndCountsMatchAgents) {
+  core::UsdProtocol usd(3);
+  const std::vector<std::uint64_t> init{40, 30, 20, 10};
+  pp::AgentScheduler sched(usd, init, rng::Rng(2));
+  for (int i = 0; i < 5000; ++i) sched.step();
+  ASSERT_EQ(total(sched.counts()), 100u);
+  // Recount agents and compare with the incremental counts.
+  std::vector<std::uint64_t> recount(4, 0);
+  for (int s : sched.agents()) ++recount[static_cast<std::size_t>(s)];
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(recount[s], sched.counts()[s]);
+  }
+}
+
+TEST(CountScheduler, RunUntilStopsAtPredicate) {
+  core::UsdProtocol usd(2);
+  const std::vector<std::uint64_t> init{90, 10, 0};
+  pp::CountScheduler sched(usd, init, rng::Rng(3));
+  const auto executed = sched.run_until(
+      [](std::span<const std::uint64_t> counts) { return counts[0] == 100; },
+      10'000'000);
+  EXPECT_EQ(sched.counts()[0], 100u);
+  EXPECT_EQ(executed, sched.steps());
+}
+
+TEST(CountScheduler, RunUntilHonorsCap) {
+  core::UsdProtocol usd(2);
+  const std::vector<std::uint64_t> init{50, 50, 0};
+  pp::CountScheduler sched(usd, init, rng::Rng(4));
+  const auto executed = sched.run_until(
+      [](std::span<const std::uint64_t>) { return false; }, 1000);
+  EXPECT_EQ(executed, 1000u);
+}
+
+// A protocol with a state space too large to tabulate, exercising the
+// virtual-dispatch path: a cyclic "rock-paper-scissors-like" rule over 800
+// states where the responder moves one state toward the initiator.
+class BigCyclicProtocol final : public pp::PairProtocol {
+ public:
+  int num_states() const override { return 800; }
+  pp::PairTransition apply(int responder, int initiator) const override {
+    if (responder < initiator) return {responder + 1, initiator};
+    if (responder > initiator) return {responder - 1, initiator};
+    return {responder, initiator};
+  }
+};
+
+TEST(CountScheduler, UntabulatedProtocolRuns) {
+  BigCyclicProtocol proto;
+  std::vector<std::uint64_t> init(800, 0);
+  init[0] = 50;
+  init[799] = 50;
+  pp::CountScheduler sched(proto, init, rng::Rng(5));
+  for (int i = 0; i < 20000; ++i) sched.step();
+  EXPECT_EQ(total(sched.counts()), 100u);
+}
+
+TEST(Schedulers, RejectMismatchedCounts) {
+  core::UsdProtocol usd(3);
+  const std::vector<std::uint64_t> wrong{1, 2, 3};  // needs 4 states
+  EXPECT_THROW(pp::CountScheduler(usd, wrong, rng::Rng(6)),
+               util::CheckError);
+  EXPECT_THROW(pp::AgentScheduler(usd, wrong, rng::Rng(6)),
+               util::CheckError);
+}
+
+// Distributional equivalence: count-based and agent-based executions of the
+// USD have the same consensus-time law. Two-sample KS at alpha = 1e-3.
+TEST(Schedulers, CountAndAgentEnginesAgreeInDistribution) {
+  core::UsdProtocol usd(2);
+  const std::vector<std::uint64_t> init{70, 30, 0};
+  const int trials = 400;
+  const std::uint64_t cap = 2'000'000;
+  std::vector<double> count_times, agent_times;
+  for (int t = 0; t < trials; ++t) {
+    {
+      pp::CountScheduler s(usd, init, rng::Rng(rng::derive_stream(100, t)));
+      s.run_until(
+          [](std::span<const std::uint64_t> c) {
+            return c[0] == 100 || c[1] == 100;
+          },
+          cap);
+      count_times.push_back(static_cast<double>(s.steps()));
+    }
+    {
+      pp::AgentScheduler s(usd, init, rng::Rng(rng::derive_stream(200, t)));
+      s.run_until(
+          [](std::span<const std::uint64_t> c) {
+            return c[0] == 100 || c[1] == 100;
+          },
+          cap);
+      agent_times.push_back(static_cast<double>(s.steps()));
+    }
+  }
+  EXPECT_LT(stats::ks_statistic(count_times, agent_times),
+            stats::ks_threshold(count_times.size(), agent_times.size(),
+                                0.001));
+}
+
+}  // namespace
+}  // namespace kusd

@@ -1,0 +1,123 @@
+// General-k exact solver: cross-validation against the dedicated k=2
+// solver, symmetry properties, and Monte-Carlo agreement for k=3.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/markov_exact.hpp"
+#include "analysis/usd_exact.hpp"
+#include "core/usd.hpp"
+#include "pp/configuration.hpp"
+#include "rng/rng.hpp"
+#include "util/check.hpp"
+
+namespace kusd {
+namespace {
+
+using analysis::Usd2ExactSolver;
+using analysis::UsdExactSolver;
+
+TEST(UsdExactSolver, AgreesWithDedicatedTwoOpinionSolver) {
+  const pp::Count n = 12;
+  Usd2ExactSolver two(n);
+  UsdExactSolver general(n, 2);
+  for (pp::Count x0 = 0; x0 <= n; ++x0) {
+    for (pp::Count x1 = 0; x0 + x1 <= n; ++x1) {
+      if (x0 + x1 == 0) continue;
+      EXPECT_NEAR(general.expected_consensus_time({x0, x1}),
+                  two.expected_consensus_time(x0, x1), 1e-6)
+          << x0 << "," << x1;
+      EXPECT_NEAR(general.win_probability({x0, x1}, 0),
+                  two.win_probability(x0, x1), 1e-9)
+          << x0 << "," << x1;
+    }
+  }
+}
+
+TEST(UsdExactSolver, WinProbabilitiesSumToOne) {
+  UsdExactSolver solver(10, 3);
+  for (const auto& x : {std::vector<pp::Count>{3, 3, 3},
+                        std::vector<pp::Count>{5, 2, 1},
+                        std::vector<pp::Count>{1, 1, 1},
+                        std::vector<pp::Count>{8, 1, 1}}) {
+    double total = 0.0;
+    for (int i = 0; i < 3; ++i) total += solver.win_probability(x, i);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(UsdExactSolver, SymmetricOpinionsHaveEqualWinProbability) {
+  UsdExactSolver solver(9, 3);
+  const std::vector<pp::Count> x{3, 3, 3};
+  const double w0 = solver.win_probability(x, 0);
+  EXPECT_NEAR(w0, 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(solver.win_probability(x, 1), w0, 1e-9);
+  EXPECT_NEAR(solver.win_probability(x, 2), w0, 1e-9);
+  // Partial symmetry: opinions 1 and 2 tied below opinion 0.
+  const std::vector<pp::Count> y{5, 2, 2};
+  EXPECT_NEAR(solver.win_probability(y, 1), solver.win_probability(y, 2),
+              1e-9);
+  EXPECT_GT(solver.win_probability(y, 0), solver.win_probability(y, 1));
+}
+
+TEST(UsdExactSolver, ZeroSupportNeverWins) {
+  UsdExactSolver solver(8, 3);
+  const std::vector<pp::Count> x{5, 3, 0};
+  EXPECT_DOUBLE_EQ(solver.win_probability(x, 2), 0.0);
+}
+
+TEST(UsdExactSolver, MoreUndecidedMeansLongerRun) {
+  UsdExactSolver solver(12, 2);
+  // Same supports, more undecided agents: strictly more work remains.
+  EXPECT_GT(solver.expected_consensus_time({4, 2}),
+            solver.expected_consensus_time({8, 4}) * 0.5);
+  EXPECT_GT(solver.expected_consensus_time({2, 1}),
+            solver.expected_consensus_time({8, 4}));
+}
+
+TEST(UsdExactSolver, RejectsBadQueries) {
+  UsdExactSolver solver(6, 2);
+  EXPECT_THROW((void)solver.win_probability({0, 0}, 0), util::CheckError);
+  EXPECT_THROW((void)solver.win_probability({3, 2}, 5), util::CheckError);
+  EXPECT_THROW((void)solver.expected_consensus_time({7, 0}),
+               util::CheckError);
+  EXPECT_THROW(UsdExactSolver(100, 4), util::CheckError);  // too large
+}
+
+TEST(UsdExactSolver, ThreeOpinionMonteCarloAgreement) {
+  const pp::Count n = 9;
+  UsdExactSolver solver(n, 3);
+  const std::vector<pp::Count> start{4, 2, 1};  // u = 2
+  const double exact_time = solver.expected_consensus_time(start);
+  const double exact_w0 = solver.win_probability(start, 0);
+
+  const pp::Configuration x0(start, n - 7);
+  const int trials = 30000;
+  double time_total = 0.0;
+  int wins0 = 0;
+  for (int t = 0; t < trials; ++t) {
+    core::UsdSimulator sim(x0, rng::Rng(rng::derive_stream(31337, t)));
+    ASSERT_TRUE(sim.run_to_consensus(10'000'000));
+    time_total += static_cast<double>(sim.interactions());
+    wins0 += sim.consensus_opinion() == 0 ? 1 : 0;
+  }
+  EXPECT_NEAR(time_total / trials, exact_time, 0.03 * exact_time);
+  const double se = std::sqrt(exact_w0 * (1 - exact_w0) / trials);
+  EXPECT_NEAR(static_cast<double>(wins0) / trials, exact_w0, 5 * se);
+}
+
+// Theorem 2's bias threshold, exactly: the win probability of the
+// plurality grows monotonically with the additive bias.
+TEST(UsdExactSolver, WinProbabilityMonotoneInBias) {
+  const pp::Count n = 14;
+  UsdExactSolver solver(n, 2);
+  double prev = 0.0;
+  for (pp::Count x0 = 7; x0 <= 14; ++x0) {
+    const double w = solver.win_probability({x0, 14 - x0}, 0);
+    EXPECT_GT(w, prev);
+    prev = w;
+  }
+}
+
+}  // namespace
+}  // namespace kusd

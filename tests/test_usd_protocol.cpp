@@ -1,0 +1,65 @@
+// The USD transition function: exhaustive truth table against the paper's
+// definition (Section 2).
+#include <gtest/gtest.h>
+
+#include "core/usd.hpp"
+#include "util/check.hpp"
+
+namespace kusd {
+namespace {
+
+class UsdProtocolSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(UsdProtocolSweep, MatchesPaperDefinition) {
+  const int k = GetParam();
+  core::UsdProtocol usd(k);
+  const int bot = usd.undecided_state();
+  EXPECT_EQ(usd.num_states(), k + 1);
+  for (int r = 0; r <= k; ++r) {
+    for (int i = 0; i <= k; ++i) {
+      const auto next = usd.apply(r, i);
+      // The initiator never changes (only the responder q updates).
+      EXPECT_EQ(next.initiator, i);
+      if (r != bot && i != bot && r != i) {
+        // (q, q') -> (bot, q') for distinct opinions.
+        EXPECT_EQ(next.responder, bot);
+      } else if (r == bot && i != bot) {
+        // (bot, q') -> (q', q').
+        EXPECT_EQ(next.responder, i);
+      } else {
+        // Same opinion, undecided initiator, or both undecided: no change.
+        EXPECT_EQ(next.responder, r);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Opinions, UsdProtocolSweep,
+                         ::testing::Values(1, 2, 3, 5, 16, 100));
+
+TEST(UsdProtocol, OnlyResponderEverChanges) {
+  core::UsdProtocol usd(4);
+  for (int r = 0; r <= 4; ++r) {
+    for (int i = 0; i <= 4; ++i) {
+      EXPECT_EQ(usd.apply(r, i).initiator, i);
+    }
+  }
+}
+
+TEST(UsdProtocol, SelfPairIsUnproductive) {
+  // delta(q, q) never changes anything, so the count-based scheduler's
+  // inability to distinguish a literal self-interaction is harmless.
+  core::UsdProtocol usd(6);
+  for (int q = 0; q <= 6; ++q) {
+    const auto next = usd.apply(q, q);
+    EXPECT_EQ(next.responder, q);
+    EXPECT_EQ(next.initiator, q);
+  }
+}
+
+TEST(UsdProtocol, RejectsNonPositiveK) {
+  EXPECT_THROW(core::UsdProtocol(0), util::CheckError);
+}
+
+}  // namespace
+}  // namespace kusd

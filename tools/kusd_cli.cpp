@@ -1,0 +1,228 @@
+// kusd — command-line front end for the library.
+//
+// Subcommands:
+//   run       one USD run, printed phases and outcome
+//   sweep     Monte-Carlo sweep over trials, summary statistics
+//   trace     record a trajectory CSV for plotting
+//   exact     exact win probability / expected time (small n, k)
+//
+// Examples:
+//   kusd run --n 100000 --k 8
+//   kusd run --n 65536 --k 4 --bias additive --beta 3000 --seed 7
+//   kusd sweep --n 32768 --k 8 --bias multiplicative --alpha 2 --trials 50
+//   kusd trace --n 100000 --k 8 --out trace.csv
+//   kusd exact --n 12 --k 3 --support 6,4,2
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/usd_exact.hpp"
+#include "core/run.hpp"
+#include "pp/configuration.hpp"
+#include "pp/trajectory.hpp"
+#include "runner/table.hpp"
+#include "runner/trials.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+using namespace kusd;
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: kusd <run|sweep|trace|exact> [options]\n"
+      "  common:  --n N --k K --undecided U --seed S\n"
+      "  bias:    --bias none|additive|multiplicative [--beta B | --alpha A]\n"
+      "  sweep:   --trials T\n"
+      "  trace:   --out FILE.csv\n"
+      "  exact:   --support x1,x2,...  (n <= ~20, small k)\n");
+  std::exit(2);
+}
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key,
+                                      std::uint64_t fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback
+                               : std::strtoull(it->second.c_str(), nullptr,
+                                               10);
+  }
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::atof(it->second.c_str());
+  }
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+};
+
+Args parse(int argc, char** argv) {
+  if (argc < 2) usage();
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) usage();
+    args.options[argv[i] + 2] = argv[i + 1];
+  }
+  return args;
+}
+
+pp::Configuration build_config(const Args& args) {
+  const pp::Count n = args.get_u64("n", 100000);
+  const int k = static_cast<int>(args.get_u64("k", 8));
+  const pp::Count u = args.get_u64("undecided", 0);
+  const std::string bias = args.get_string("bias", "none");
+  if (bias == "none") return pp::Configuration::uniform(n, k, u);
+  if (bias == "additive") {
+    const pp::Count beta = args.get_u64("beta", n / 100);
+    return pp::Configuration::with_additive_bias(n, k, u, beta);
+  }
+  if (bias == "multiplicative") {
+    const double alpha = args.get_double("alpha", 2.0);
+    return pp::Configuration::with_multiplicative_bias(n, k, u, alpha);
+  }
+  usage();
+}
+
+int cmd_run(const Args& args) {
+  const auto x0 = build_config(args);
+  const auto result = core::run_usd(x0, args.get_u64("seed", 1));
+  if (!result.converged) {
+    std::printf("no consensus within the interaction cap\n");
+    return 1;
+  }
+  std::printf("consensus on opinion %d after %llu interactions "
+              "(parallel time %.1f)\n",
+              result.winner,
+              static_cast<unsigned long long>(result.interactions),
+              result.parallel_time);
+  std::printf("initial plurality %s; winner %s initially significant\n",
+              result.plurality_won ? "won" : "lost",
+              result.winner_initially_significant ? "was" : "was not");
+  const auto& ph = result.phases;
+  const auto show = [](const char* name,
+                       const std::optional<std::uint64_t>& t) {
+    if (t) {
+      std::printf("  %-3s %llu\n", name,
+                  static_cast<unsigned long long>(*t));
+    }
+  };
+  show("T1", ph.t1);
+  show("T2", ph.t2);
+  show("T3", ph.t3);
+  show("T4", ph.t4);
+  show("T5", ph.t5);
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  const auto x0 = build_config(args);
+  const int trials = static_cast<int>(args.get_u64("trials", 25));
+  struct Row {
+    double interactions;
+    bool won;
+  };
+  const auto rows = runner::run_trials<Row>(
+      trials, args.get_u64("seed", 1), [&x0](std::uint64_t seed) {
+        core::RunOptions opts;
+        opts.track_phases = false;
+        const auto r = core::run_usd(x0, seed, opts);
+        return Row{static_cast<double>(r.interactions), r.plurality_won};
+      });
+  stats::Samples t;
+  int wins = 0;
+  for (const auto& row : rows) {
+    t.add(row.interactions);
+    wins += row.won ? 1 : 0;
+  }
+  runner::Table table({"metric", "value"});
+  table.add_row({"trials", std::to_string(trials)});
+  table.add_row({"mean interactions", runner::fmt(t.mean(), 1)});
+  table.add_row({"std dev", runner::fmt(t.stddev(), 1)});
+  table.add_row({"median", runner::fmt(t.median(), 1)});
+  table.add_row({"p95", runner::fmt(t.quantile(0.95), 1)});
+  table.add_row({"plurality win rate",
+                 runner::fmt(static_cast<double>(wins) / trials, 3)});
+  table.print();
+  return 0;
+}
+
+int cmd_trace(const Args& args) {
+  const auto x0 = build_config(args);
+  const std::string out = args.get_string("out", "kusd_trace.csv");
+  core::UsdSimulator sim(x0, rng::Rng(args.get_u64("seed", 1)),
+                         core::UsdOptions{core::StepMode::kSkipUnproductive});
+  pp::Trajectory trajectory;
+  sim.run_observed(core::default_interaction_cap(x0.n(), x0.k()),
+                   std::max<pp::Count>(1, x0.n() / 64),
+                   [&trajectory](std::uint64_t t,
+                                 std::span<const pp::Count> opinions,
+                                 pp::Count u) {
+                     trajectory.record(t, opinions, u);
+                   });
+  trajectory.write_csv(out);
+  std::printf("wrote %zu snapshots to %s (consensus: %s)\n",
+              trajectory.size(), out.c_str(),
+              sim.is_consensus() ? "yes" : "no");
+  return 0;
+}
+
+int cmd_exact(const Args& args) {
+  const pp::Count n = args.get_u64("n", 12);
+  const int k = static_cast<int>(args.get_u64("k", 2));
+  std::vector<pp::Count> support;
+  const std::string spec = args.get_string("support", "");
+  if (spec.empty()) {
+    const auto x0 = pp::Configuration::uniform(n, k, 0);
+    support.assign(x0.opinions().begin(), x0.opinions().end());
+  } else {
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+      std::size_t next = spec.find(',', pos);
+      if (next == std::string::npos) next = spec.size();
+      support.push_back(
+          std::strtoull(spec.substr(pos, next - pos).c_str(), nullptr, 10));
+      pos = next + 1;
+    }
+    if (static_cast<int>(support.size()) != k) {
+      std::fprintf(stderr, "--support must list exactly k values\n");
+      return 2;
+    }
+  }
+  analysis::UsdExactSolver solver(n, k);
+  std::printf("exact analysis: n=%llu k=%d (%zu states)\n",
+              static_cast<unsigned long long>(n), k, solver.num_states());
+  std::printf("expected interactions to consensus: %.3f\n",
+              solver.expected_consensus_time(support));
+  for (int i = 0; i < k; ++i) {
+    std::printf("P[opinion %d wins] = %.6f\n", i,
+                solver.win_probability(support, i));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  try {
+    if (args.command == "run") return cmd_run(args);
+    if (args.command == "sweep") return cmd_sweep(args);
+    if (args.command == "trace") return cmd_trace(args);
+    if (args.command == "exact") return cmd_exact(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+}
