@@ -56,7 +56,8 @@ TEST(MarkovExact, UndecidedAgentsPreserveFairness) {
 
 TEST(MarkovExact, RejectsAllUndecidedQuery) {
   Usd2ExactSolver solver(6);
-  EXPECT_THROW(solver.win_probability(0, 0), util::CheckError);
+  EXPECT_THROW(static_cast<void>(solver.win_probability(0, 0)),
+               util::CheckError);
   EXPECT_THROW(Usd2ExactSolver(1), util::CheckError);
 }
 

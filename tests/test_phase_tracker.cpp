@@ -74,8 +74,8 @@ TEST(PhaseTracker, PhaseLengths) {
   EXPECT_EQ(times.phase_length(1), 50u);
   EXPECT_EQ(times.phase_length(2), 200u);
   EXPECT_FALSE(times.phase_length(3).has_value());
-  EXPECT_THROW(times.phase_length(0), util::CheckError);
-  EXPECT_THROW(times.phase_length(6), util::CheckError);
+  EXPECT_THROW(static_cast<void>(times.phase_length(0)), util::CheckError);
+  EXPECT_THROW(static_cast<void>(times.phase_length(6)), util::CheckError);
 }
 
 TEST(PhaseTracker, RejectsBadSnapshot) {

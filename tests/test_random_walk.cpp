@@ -115,7 +115,7 @@ TEST(DriftBound, Theorem3Shape) {
   const double t1 = analysis::drift_time_bound(3.0, 100.0, 1.0, 0.01);
   const double t2 = analysis::drift_time_bound(3.0, 200.0, 1.0, 0.01);
   EXPECT_NEAR(t2 - t1, std::log(2.0) / 0.01, 1.0);
-  EXPECT_THROW(analysis::drift_time_bound(1.0, 1.0, 1.0, 0.0),
+  EXPECT_THROW(static_cast<void>(analysis::drift_time_bound(1.0, 1.0, 1.0, 0.0)),
                util::CheckError);
 }
 

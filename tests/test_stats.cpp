@@ -125,10 +125,12 @@ TEST(Regression, LogLogRecoversExponent) {
 
 TEST(Regression, RejectsDegenerateInput) {
   const std::vector<double> one{1.0};
-  EXPECT_THROW(stats::linear_fit(one, one), util::CheckError);
+  EXPECT_THROW(static_cast<void>(stats::linear_fit(one, one)),
+               util::CheckError);
   const std::vector<double> xs{-1.0, 2.0};
   const std::vector<double> ys{1.0, 2.0};
-  EXPECT_THROW(stats::loglog_fit(xs, ys), util::CheckError);
+  EXPECT_THROW(static_cast<void>(stats::loglog_fit(xs, ys)),
+               util::CheckError);
 }
 
 TEST(Histogram, BinningAndClamping) {

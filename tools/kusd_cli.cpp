@@ -31,16 +31,16 @@ namespace {
 
 using namespace kusd;
 
-[[noreturn]] void usage() {
+[[noreturn]] void usage(int exit_code = 2) {
   std::fprintf(
-      stderr,
+      exit_code == 0 ? stdout : stderr,
       "usage: kusd <run|sweep|trace|exact> [options]\n"
       "  common:  --n N --k K --undecided U --seed S\n"
       "  bias:    --bias none|additive|multiplicative [--beta B | --alpha A]\n"
       "  sweep:   --trials T\n"
       "  trace:   --out FILE.csv\n"
       "  exact:   --support x1,x2,...  (n <= ~20, small k)\n");
-  std::exit(2);
+  std::exit(exit_code);
 }
 
 struct Args {
@@ -70,8 +70,17 @@ Args parse(int argc, char** argv) {
   if (argc < 2) usage();
   Args args;
   args.command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
-    if (std::strncmp(argv[i], "--", 2) != 0) usage();
+  if (args.command == "--help" || args.command == "-h" ||
+      args.command == "help") {
+    usage(0);
+  }
+  const auto is_help = [](const char* arg) {
+    return std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0;
+  };
+  for (int i = 2; i < argc; i += 2) {
+    if (is_help(argv[i])) usage(0);
+    if (std::strncmp(argv[i], "--", 2) != 0 || i + 1 >= argc) usage();
+    if (is_help(argv[i + 1])) usage(0);
     args.options[argv[i] + 2] = argv[i + 1];
   }
   return args;
