@@ -1,0 +1,57 @@
+#include "core/batched_usd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/stepping.hpp"
+#include "util/check.hpp"
+
+namespace kusd::core {
+
+BatchedUsdSimulator::BatchedUsdSimulator(const pp::Configuration& initial,
+                                         rng::Rng rng, BatchedOptions options)
+    : opinions_(initial.opinions().begin(), initial.opinions().end()),
+      undecided_(initial.undecided()),
+      n_(initial.n()),
+      engine_(initial.k()),
+      rng_(rng) {
+  KUSD_CHECK_MSG(initial.decided() >= 1,
+                 "an all-undecided population never converges");
+  KUSD_CHECK_MSG(options.chunk_fraction > 0.0 && options.chunk_fraction <= 1.0,
+                 "chunk_fraction must be in (0, 1]");
+  const double target = options.chunk_fraction * static_cast<double>(n_);
+  chunk_target_ = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::llround(target)));
+  for (int i = 0; i < initial.k(); ++i) {
+    if (initial.opinion(i) == n_) winner_ = i;
+  }
+}
+
+void BatchedUsdSimulator::step() {
+  KUSD_DCHECK(!winner_.has_value());
+  std::uint64_t m = chunk_target_;
+  // A frozen-rate draw can overshoot a count; halve and redraw. m == 1
+  // realizes exactly one interaction-chain event and always succeeds.
+  while (true) {
+    ++chunks_;
+    if (engine_.try_async_chunk(opinions_, undecided_, n_, m, rng_)) break;
+    m = std::max<std::uint64_t>(1, m / 2);
+  }
+  interactions_ += m;
+  for (std::size_t i = 0; i < opinions_.size(); ++i) {
+    if (opinions_[i] == n_) winner_ = static_cast<int>(i);
+  }
+}
+
+bool BatchedUsdSimulator::run_to_consensus(std::uint64_t max_interactions) {
+  return detail::run_sim_to_consensus(*this, max_interactions);
+}
+
+bool BatchedUsdSimulator::run_observed(std::uint64_t max_interactions,
+                                       std::uint64_t interval,
+                                       const UsdSimulator::Observer& observer) {
+  return detail::run_sim_observed(*this, max_interactions, interval,
+                                  observer);
+}
+
+}  // namespace kusd::core

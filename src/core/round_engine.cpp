@@ -1,0 +1,112 @@
+#include "core/round_engine.hpp"
+
+#include "util/check.hpp"
+
+namespace kusd::core {
+
+RoundEngine::RoundEngine(int k) : k_(k) {
+  KUSD_CHECK_MSG(k >= 1, "round engine needs at least one opinion");
+  weights_.resize(2 * static_cast<std::size_t>(k) + 1);
+}
+
+pp::Count RoundEngine::decided_step(std::span<const pp::Count> opinions,
+                                    pp::Count undecided,
+                                    bool keep_on_undecided,
+                                    std::span<pp::Count> next,
+                                    rng::Rng& rng) {
+  const std::size_t k = opinions.size();
+  KUSD_DCHECK(k == static_cast<std::size_t>(k_) && next.size() == k);
+  KUSD_DCHECK(next.data() != opinions.data());
+  // Partner-sampling weights: the pre-round state distribution. With no
+  // undecided agents the slot is omitted entirely — a trailing zero-weight
+  // bucket would absorb the multinomial's exact-remainder treatment of the
+  // last real opinion and let floating-point error leak agents into it.
+  for (std::size_t j = 0; j < k; ++j) {
+    weights_[j] = static_cast<double>(opinions[j]);
+  }
+  const bool with_undecided = undecided > 0;
+  if (with_undecided) weights_[k] = static_cast<double>(undecided);
+  const std::span<const double> w(weights_.data(),
+                                  with_undecided ? k + 1 : k);
+
+  pp::Count became_undecided = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (opinions[i] == 0) continue;
+    const auto partners = rng.multinomial(opinions[i], w);
+    pp::Count stay = partners[i];
+    if (keep_on_undecided && with_undecided) stay += partners[k];
+    next[i] += stay;
+    became_undecided += opinions[i] - stay;
+  }
+  return became_undecided;
+}
+
+pp::Count RoundEngine::adoption_step(std::span<const pp::Count> partners,
+                                     pp::Count partner_undecided,
+                                     pp::Count undecided,
+                                     std::span<pp::Count> next,
+                                     rng::Rng& rng) {
+  const std::size_t k = partners.size();
+  KUSD_DCHECK(k == static_cast<std::size_t>(k_) && next.size() == k);
+  if (undecided == 0) return 0;
+  // Copy the weights before touching `next` so partners may alias next.
+  // As in decided_step, a zero partner-undecided slot is omitted so the
+  // last real opinion keeps the exact multinomial remainder.
+  for (std::size_t j = 0; j < k; ++j) {
+    weights_[j] = static_cast<double>(partners[j]);
+  }
+  const bool with_undecided = partner_undecided > 0;
+  if (with_undecided) weights_[k] = static_cast<double>(partner_undecided);
+  const auto sampled = rng.multinomial(
+      undecided,
+      std::span<const double>(weights_.data(), with_undecided ? k + 1 : k));
+  for (std::size_t j = 0; j < k; ++j) next[j] += sampled[j];
+  return with_undecided ? sampled[k] : 0;
+}
+
+bool RoundEngine::try_async_chunk(std::span<pp::Count> opinions,
+                                  pp::Count& undecided, pp::Count n,
+                                  std::uint64_t m, rng::Rng& rng) {
+  const std::size_t k = opinions.size();
+  KUSD_DCHECK(k == static_cast<std::size_t>(k_));
+  const pp::Count decided = n - undecided;
+  // Event weights in units of n^2 * probability, frozen at the current
+  // configuration: adoption of j, flip of j, and the unproductive rest.
+  const double du = static_cast<double>(undecided);
+  double productive = 0.0;
+  for (std::size_t j = 0; j < k; ++j) {
+    const double xj = static_cast<double>(opinions[j]);
+    weights_[j] = du * xj;                                       // adopt j
+    weights_[k + j] = xj * static_cast<double>(decided - opinions[j]);
+    productive += weights_[j] + weights_[k + j];
+  }
+  const double total =
+      static_cast<double>(n) * static_cast<double>(n);
+  weights_[2 * k] = std::max(0.0, total - productive);           // no-op
+  const auto events = rng.multinomial(
+      m, std::span<const double>(weights_.data(), 2 * k + 1));
+
+  // Validate before committing: a frozen-rate draw can overshoot a count.
+  std::uint64_t adopted = 0, flipped = 0;
+  for (std::size_t j = 0; j < k; ++j) {
+    if (opinions[j] + events[j] < events[k + j]) return false;
+    adopted += events[j];
+    flipped += events[k + j];
+  }
+  if (undecided + flipped < adopted) return false;
+  // The exact chain preserves decided >= 1 (a flip needs two differently-
+  // decided agents); all-undecided would be absorbing here, so a draw that
+  // flips every decided agent must also be rejected.
+  if (undecided + flipped - adopted == static_cast<std::uint64_t>(n)) {
+    return false;
+  }
+  for (std::size_t j = 0; j < k; ++j) {
+    opinions[j] += events[j];
+    opinions[j] -= events[k + j];
+  }
+  undecided += flipped;
+  undecided -= adopted;
+  return true;
+}
+
+}  // namespace kusd::core

@@ -1,0 +1,73 @@
+// Batched whole-round primitives for the USD Markov chains.
+//
+// SyncUsd, GossipUsd and BatchedUsdSimulator all advance entire rounds in
+// aggregate: the partners of the m agents in a state are jointly multinomial
+// over the partner distribution, so a round costs O(k) binomial draws
+// instead of Θ(n) per-agent samples. This class centralizes that machinery
+// (previously duplicated ad hoc in sync_usd.cpp and gossip_usd.cpp):
+//
+//  * decided_step / adoption_step — the two synchronous half-rounds, exact
+//    for the synchronized and gossip round models.
+//  * try_async_chunk — a chunked-Poissonization (tau-leaping) step for the
+//    asynchronous chain: m interactions advanced with the transition rates
+//    frozen at the current configuration. Exact in the limit m -> 1 and a
+//    documented approximation for m > 1 (see BatchedUsdSimulator).
+//
+// The engine owns only scratch buffers; all population state is the
+// caller's. Methods are deterministic given the caller's Rng.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pp/configuration.hpp"
+#include "rng/rng.hpp"
+
+namespace kusd::core {
+
+class RoundEngine {
+ public:
+  /// `k` is the number of decided opinions (scratch is sized for k+1
+  /// partner states and 2k+1 async event families).
+  explicit RoundEngine(int k);
+
+  [[nodiscard]] int k() const { return k_; }
+
+  /// One synchronous USD half-round over the decided agents: every agent of
+  /// opinion i samples a partner from the distribution (opinions...,
+  /// undecided) and keeps i iff the partner shares it (or, when
+  /// `keep_on_undecided`, is undecided); otherwise it becomes undecided.
+  /// Survivors are accumulated into `next` (size k); returns the number of
+  /// agents that became undecided. `next` must not alias `opinions`.
+  pp::Count decided_step(std::span<const pp::Count> opinions,
+                         pp::Count undecided, bool keep_on_undecided,
+                         std::span<pp::Count> next, rng::Rng& rng);
+
+  /// One synchronous re-adoption half-round: `undecided` agents each sample
+  /// a partner from the distribution (partners..., partner_undecided);
+  /// samplers landing on opinion j adopt it (accumulated into `next[j]`).
+  /// Returns how many agents remain undecided. `partners` may alias `next`
+  /// (the weights are copied before `next` is written).
+  pp::Count adoption_step(std::span<const pp::Count> partners,
+                          pp::Count partner_undecided, pp::Count undecided,
+                          std::span<pp::Count> next, rng::Rng& rng);
+
+  /// Attempt to advance `m` interactions of the asynchronous chain in one
+  /// multinomial draw with the event rates frozen at the current
+  /// configuration: per interaction, opinion j gains an agent w.p.
+  /// u*x_j / n^2 (adoption) and loses one w.p. x_j*(d - x_j) / n^2 (flip to
+  /// undecided), where d = n - u. Applies the aggregate deltas to
+  /// (`opinions`, `undecided`) and returns true; returns false without
+  /// modifying the state when the draw would drive a count negative or
+  /// leave zero decided agents — a state the exact chain cannot reach (the
+  /// caller should retry with a smaller m — m == 1 always succeeds).
+  bool try_async_chunk(std::span<pp::Count> opinions, pp::Count& undecided,
+                       pp::Count n, std::uint64_t m, rng::Rng& rng);
+
+ private:
+  int k_;
+  std::vector<double> weights_;  // scratch: up to 2k+1 event weights
+};
+
+}  // namespace kusd::core

@@ -11,20 +11,21 @@ namespace kusd::core {
 std::uint64_t default_interaction_cap(pp::Count n, int k) {
   const double dn = static_cast<double>(n);
   const double cap = 64.0 * static_cast<double>(k) * dn * (std::log(dn) + 1.0);
-  return static_cast<std::uint64_t>(cap);
+  // Populations the batched engine reaches can push the formula past
+  // uint64 range; saturate instead of an unrepresentable (UB) cast.
+  constexpr double kMax = 18446744073709549568.0;  // largest double < 2^64
+  return cap >= kMax ? ~std::uint64_t{0} : static_cast<std::uint64_t>(cap);
 }
 
-RunResult run_usd(const pp::Configuration& initial, std::uint64_t seed,
-                  RunOptions options) {
-  RunResult result;
-  result.initial_plurality = initial.argmax();
-  const std::uint64_t cap = options.max_interactions != 0
-                                ? options.max_interactions
-                                : default_interaction_cap(initial.n(),
-                                                          initial.k());
+namespace {
 
-  UsdSimulator sim(initial, rng::Rng(seed),
-                   UsdOptions{options.mode, options.engine});
+// Shared driver: UsdSimulator and BatchedUsdSimulator expose the same
+// stepping/observation API, so the phase-tracking and outcome
+// classification logic is written once against either.
+template <typename Simulator>
+void run_with(Simulator& sim, const pp::Configuration& initial,
+              const RunOptions& options, std::uint64_t cap,
+              RunResult& result) {
   if (options.track_phases) {
     PhaseTracker tracker(initial.n(), options.alpha);
     const std::uint64_t interval = options.observe_interval != 0
@@ -50,6 +51,28 @@ RunResult run_usd(const pp::Configuration& initial, std::uint64_t seed,
     result.plurality_won = result.winner == result.initial_plurality;
     result.winner_initially_significant =
         is_significant(initial, result.winner, options.alpha);
+  }
+}
+
+}  // namespace
+
+RunResult run_usd(const pp::Configuration& initial, std::uint64_t seed,
+                  RunOptions options) {
+  RunResult result;
+  result.initial_plurality = initial.argmax();
+  const std::uint64_t cap = options.max_interactions != 0
+                                ? options.max_interactions
+                                : default_interaction_cap(initial.n(),
+                                                          initial.k());
+
+  if (options.mode == StepMode::kBatchedRounds) {
+    BatchedUsdSimulator sim(initial, rng::Rng(seed),
+                            BatchedOptions{options.batch_chunk_fraction});
+    run_with(sim, initial, options, cap, result);
+  } else {
+    UsdSimulator sim(initial, rng::Rng(seed),
+                     UsdOptions{options.mode, options.engine});
+    run_with(sim, initial, options, cap, result);
   }
   return result;
 }

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "core/batched_usd.hpp"
 #include "core/phase_tracker.hpp"
 #include "core/usd.hpp"
 #include "pp/configuration.hpp"
@@ -19,6 +20,9 @@ struct RunOptions {
   std::uint64_t max_interactions = 0;
   StepMode mode = StepMode::kSkipUnproductive;
   urn::UrnEngine engine = urn::UrnEngine::kAuto;
+  /// Chunk length for StepMode::kBatchedRounds, as a fraction of n
+  /// interactions per multinomial draw (see BatchedOptions).
+  double batch_chunk_fraction = BatchedOptions{}.chunk_fraction;
   /// Track T1..T5; snapshots are taken every `observe_interval`
   /// interactions (0 picks n/8, a resolution far below phase lengths).
   bool track_phases = true;

@@ -1,0 +1,44 @@
+// Shared run-loop drivers for the interaction-level simulators.
+//
+// UsdSimulator and BatchedUsdSimulator expose the same stepping surface
+// (step / is_consensus / interactions / opinions / undecided); the
+// consensus loop and the observer-interval bookkeeping live here once so
+// the two engines cannot drift apart.
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace kusd::core::detail {
+
+template <typename Sim>
+bool run_sim_to_consensus(Sim& sim, std::uint64_t max_interactions) {
+  while (!sim.is_consensus() && sim.interactions() < max_interactions) {
+    sim.step();
+  }
+  return sim.is_consensus();
+}
+
+/// Invokes `observer(t, opinions, undecided)` before the first step, at the
+/// first step past each multiple of `interval`, and after the last step.
+template <typename Sim, typename Observer>
+bool run_sim_observed(Sim& sim, std::uint64_t max_interactions,
+                      std::uint64_t interval, const Observer& observer) {
+  KUSD_CHECK_MSG(interval > 0, "observer interval must be positive");
+  observer(sim.interactions(), sim.opinions(), sim.undecided());
+  std::uint64_t next = sim.interactions() + interval;
+  while (!sim.is_consensus() && sim.interactions() < max_interactions) {
+    sim.step();
+    if (sim.interactions() >= next) {
+      observer(sim.interactions(), sim.opinions(), sim.undecided());
+      do {
+        next += interval;
+      } while (next <= sim.interactions());
+    }
+  }
+  observer(sim.interactions(), sim.opinions(), sim.undecided());
+  return sim.is_consensus();
+}
+
+}  // namespace kusd::core::detail

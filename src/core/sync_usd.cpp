@@ -7,6 +7,7 @@ namespace kusd::core {
 SyncUsd::SyncUsd(const pp::Configuration& initial, rng::Rng rng)
     : opinions_(initial.opinions().begin(), initial.opinions().end()),
       n_(initial.n()),
+      engine_(initial.k()),
       rng_(rng) {
   KUSD_CHECK_MSG(initial.undecided() == 0,
                  "the synchronized variant starts fully decided");
@@ -18,10 +19,6 @@ SyncUsd::SyncUsd(const pp::Configuration& initial, rng::Rng rng)
 std::uint64_t SyncUsd::super_round() {
   KUSD_DCHECK(!winner_.has_value());
   const std::size_t k = opinions_.size();
-  std::vector<double> weights(k);
-  for (std::size_t j = 0; j < k; ++j) {
-    weights[j] = static_cast<double>(opinions_[j]);
-  }
 
   // Phase A: one USD round over a fully decided population. An agent of
   // opinion i keeps it iff the sampled partner shares it. In the (for
@@ -32,28 +29,17 @@ std::uint64_t SyncUsd::super_round() {
   pp::Count undecided = 0;
   do {
     next.assign(k, 0);
-    undecided = 0;
-    for (std::size_t i = 0; i < k; ++i) {
-      if (opinions_[i] == 0) continue;
-      const auto partners = rng_.multinomial(opinions_[i], weights);
-      next[i] += partners[i];
-      undecided += opinions_[i] - partners[i];
-    }
+    undecided = engine_.decided_step(opinions_, /*undecided=*/0,
+                                     /*keep_on_undecided=*/false, next, rng_);
     ++total_rounds_;
   } while (undecided == n_);
 
   // Phase B: undecided agents repeatedly sample until they land on a
-  // decided agent, one synchronous sub-round per attempt.
+  // decided agent, one synchronous sub-round per attempt. Partners are the
+  // current (partially re-adopted) counts, so `next` aliases both roles.
   std::uint64_t sub_rounds = 0;
   while (undecided > 0) {
-    std::vector<double> w(k + 1);
-    for (std::size_t j = 0; j < k; ++j) {
-      w[j] = static_cast<double>(next[j]);
-    }
-    w[k] = static_cast<double>(undecided);
-    const auto partners = rng_.multinomial(undecided, w);
-    for (std::size_t j = 0; j < k; ++j) next[j] += partners[j];
-    undecided = partners[k];
+    undecided = engine_.adoption_step(next, undecided, undecided, next, rng_);
     ++sub_rounds;
     ++total_rounds_;
   }

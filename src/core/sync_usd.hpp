@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "core/round_engine.hpp"
 #include "pp/configuration.hpp"
 #include "rng/rng.hpp"
 
@@ -47,6 +48,7 @@ class SyncUsd {
  private:
   std::vector<pp::Count> opinions_;
   pp::Count n_;
+  RoundEngine engine_;
   rng::Rng rng_;
   std::uint64_t super_rounds_ = 0;
   std::uint64_t total_rounds_ = 0;

@@ -1,5 +1,6 @@
 #include "core/usd.hpp"
 
+#include "core/stepping.hpp"
 #include "util/check.hpp"
 
 namespace kusd::core {
@@ -35,6 +36,9 @@ UsdSimulator::UsdSimulator(const pp::Configuration& initial, rng::Rng rng,
       n_(initial.n()),
       rng_(rng),
       mode_(options.mode) {
+  KUSD_CHECK_MSG(mode_ != StepMode::kBatchedRounds,
+                 "StepMode::kBatchedRounds is served by BatchedUsdSimulator "
+                 "(use core::run_usd or construct it directly)");
   KUSD_CHECK_MSG(n_ < (std::uint64_t{1} << 32),
                  "population must fit in 32 bits (n^2 must fit in 64)");
   KUSD_CHECK_MSG(initial.decided() >= 1,
@@ -128,27 +132,14 @@ void UsdSimulator::step_skip() {
 }
 
 bool UsdSimulator::run_to_consensus(std::uint64_t max_interactions) {
-  while (!winner_.has_value() && interactions_ < max_interactions) step();
-  return winner_.has_value();
+  return detail::run_sim_to_consensus(*this, max_interactions);
 }
 
 bool UsdSimulator::run_observed(std::uint64_t max_interactions,
                                 std::uint64_t interval,
                                 const Observer& observer) {
-  KUSD_CHECK_MSG(interval > 0, "observer interval must be positive");
-  observer(interactions_, opinions(), undecided_);
-  std::uint64_t next = interactions_ + interval;
-  while (!winner_.has_value() && interactions_ < max_interactions) {
-    step();
-    if (interactions_ >= next) {
-      observer(interactions_, opinions(), undecided_);
-      do {
-        next += interval;
-      } while (next <= interactions_);
-    }
-  }
-  observer(interactions_, opinions(), undecided_);
-  return winner_.has_value();
+  return detail::run_sim_observed(*this, max_interactions, interval,
+                                  observer);
 }
 
 }  // namespace kusd::core

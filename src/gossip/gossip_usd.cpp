@@ -8,6 +8,7 @@ GossipUsd::GossipUsd(const pp::Configuration& initial, rng::Rng rng)
     : opinions_(initial.opinions().begin(), initial.opinions().end()),
       undecided_(initial.undecided()),
       n_(initial.n()),
+      engine_(initial.k()),
       rng_(rng) {
   KUSD_CHECK_MSG(initial.decided() >= 1,
                  "an all-undecided population never converges");
@@ -19,31 +20,16 @@ GossipUsd::GossipUsd(const pp::Configuration& initial, rng::Rng rng)
 void GossipUsd::round() {
   KUSD_DCHECK(!winner_.has_value());
   const std::size_t k = opinions_.size();
-  // Partner-sampling weights: the pre-round state distribution.
-  std::vector<double> weights(k + 1);
-  for (std::size_t j = 0; j < k; ++j) {
-    weights[j] = static_cast<double>(opinions_[j]);
-  }
-  weights[k] = static_cast<double>(undecided_);
-
   std::vector<pp::Count> next(k, 0);
-  pp::Count next_undecided = 0;
 
   // Decided agents of opinion i: keep i iff the partner is undecided or of
-  // the same opinion; otherwise become undecided.
-  for (std::size_t i = 0; i < k; ++i) {
-    if (opinions_[i] == 0) continue;
-    const auto partners = rng_.multinomial(opinions_[i], weights);
-    const pp::Count stay = partners[i] + partners[k];
-    next[i] += stay;
-    next_undecided += opinions_[i] - stay;
-  }
-  // Undecided agents: adopt the partner's opinion if decided.
-  if (undecided_ > 0) {
-    const auto partners = rng_.multinomial(undecided_, weights);
-    for (std::size_t j = 0; j < k; ++j) next[j] += partners[j];
-    next_undecided += partners[k];
-  }
+  // the same opinion; otherwise become undecided. Undecided agents: adopt
+  // the partner's opinion if decided. Both half-rounds sample partners from
+  // the pre-round configuration.
+  pp::Count next_undecided = engine_.decided_step(
+      opinions_, undecided_, /*keep_on_undecided=*/true, next, rng_);
+  next_undecided +=
+      engine_.adoption_step(opinions_, undecided_, undecided_, next, rng_);
 
   opinions_ = std::move(next);
   undecided_ = next_undecided;

@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "core/round_engine.hpp"
 #include "pp/configuration.hpp"
 #include "rng/rng.hpp"
 
@@ -46,6 +47,7 @@ class GossipUsd {
   std::vector<pp::Count> opinions_;
   pp::Count undecided_;
   pp::Count n_;
+  core::RoundEngine engine_;
   rng::Rng rng_;
   std::uint64_t rounds_ = 0;
   std::optional<int> winner_;

@@ -5,8 +5,11 @@
 namespace kusd::runner {
 
 namespace {
+// RFC 4180 quoting: cells containing separators, quotes, or line breaks
+// (\n or \r — bare CR also breaks naive readers) are wrapped in double
+// quotes with embedded quotes doubled.
 std::string escape(const std::string& cell) {
-  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
   std::string out = "\"";
   for (char c : cell) {
     if (c == '"') out += '"';

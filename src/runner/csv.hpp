@@ -14,6 +14,10 @@ class CsvWriter {
 
   void write_row(const std::vector<std::string>& cells);
 
+  /// Push buffered rows to disk — call after each row when a long run's
+  /// partial output must survive interruption.
+  void flush() { out_.flush(); }
+
   [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
 
  private:

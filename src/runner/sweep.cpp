@@ -1,0 +1,298 @@
+#include "runner/sweep.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "core/run.hpp"
+#include "core/sync_usd.hpp"
+#include "gossip/gossip_usd.hpp"
+#include "runner/table.hpp"
+#include "runner/trials.hpp"
+#include "util/check.hpp"
+#include "util/stopwatch.hpp"
+
+namespace kusd::runner {
+
+const char* to_string(SweepEngine engine) {
+  switch (engine) {
+    case SweepEngine::kEveryInteraction: return "every";
+    case SweepEngine::kSkipUnproductive: return "skip";
+    case SweepEngine::kBatchedRounds: return "batched";
+    case SweepEngine::kSynchronized: return "sync";
+    case SweepEngine::kGossip: return "gossip";
+  }
+  return "?";
+}
+
+const char* to_string(BiasKind kind) {
+  switch (kind) {
+    case BiasKind::kNone: return "none";
+    case BiasKind::kAdditive: return "additive";
+    case BiasKind::kMultiplicative: return "multiplicative";
+  }
+  return "?";
+}
+
+std::optional<SweepEngine> parse_engine(const std::string& name) {
+  if (name == "every") return SweepEngine::kEveryInteraction;
+  if (name == "skip") return SweepEngine::kSkipUnproductive;
+  if (name == "batched") return SweepEngine::kBatchedRounds;
+  if (name == "sync") return SweepEngine::kSynchronized;
+  if (name == "gossip") return SweepEngine::kGossip;
+  return std::nullopt;
+}
+
+namespace {
+
+struct TrialOutcome {
+  double parallel_time = 0.0;
+  bool converged = false;
+  bool plurality_won = false;
+};
+
+pp::Configuration build_config(const SweepSpec& spec, const SweepPoint& p) {
+  // Round (not truncate) so a fraction built from an absolute count
+  // round-trips exactly: (u / n) * n == u.
+  const auto undecided = static_cast<pp::Count>(std::llround(
+      spec.undecided_fraction * static_cast<double>(p.n)));
+  switch (spec.bias_kind) {
+    case BiasKind::kNone:
+      return pp::Configuration::uniform(p.n, p.k, undecided);
+    case BiasKind::kAdditive:
+      return pp::Configuration::with_additive_bias(
+          p.n, p.k, undecided, static_cast<pp::Count>(p.bias));
+    case BiasKind::kMultiplicative:
+      return pp::Configuration::with_multiplicative_bias(p.n, p.k, undecided,
+                                                         p.bias);
+  }
+  KUSD_CHECK_MSG(false, "unreachable bias kind");
+}
+
+/// Round caps mirroring default_interaction_cap's generosity: the
+/// synchronized variant is O(log^2 n) rounds w.h.p., gossip O(k log n).
+std::uint64_t sync_round_cap(pp::Count n) {
+  const double lg = std::log2(static_cast<double>(n)) + 1.0;
+  return static_cast<std::uint64_t>(64.0 * lg * lg) + 256;
+}
+
+std::uint64_t gossip_round_cap(pp::Count n, int k) {
+  const double lg = std::log2(static_cast<double>(n)) + 1.0;
+  return static_cast<std::uint64_t>(64.0 * static_cast<double>(k) * lg) + 256;
+}
+
+TrialOutcome run_one(const SweepSpec& spec, const SweepPoint& point,
+                     const pp::Configuration& x0, std::uint64_t seed) {
+  TrialOutcome out;
+  switch (point.engine) {
+    case SweepEngine::kEveryInteraction:
+    case SweepEngine::kSkipUnproductive:
+    case SweepEngine::kBatchedRounds: {
+      core::RunOptions opts;
+      opts.track_phases = false;
+      opts.mode = point.engine == SweepEngine::kEveryInteraction
+                      ? core::StepMode::kEveryInteraction
+                  : point.engine == SweepEngine::kSkipUnproductive
+                      ? core::StepMode::kSkipUnproductive
+                      : core::StepMode::kBatchedRounds;
+      opts.batch_chunk_fraction = spec.batch_chunk_fraction;
+      const auto r = core::run_usd(x0, seed, opts);
+      out.parallel_time = r.parallel_time;
+      out.converged = r.converged;
+      out.plurality_won = r.plurality_won;
+      return out;
+    }
+    case SweepEngine::kSynchronized: {
+      core::SyncUsd sim(x0, rng::Rng(seed));
+      out.converged = sim.run_to_consensus(sync_round_cap(point.n));
+      out.parallel_time = static_cast<double>(sim.total_rounds());
+      out.plurality_won =
+          out.converged && sim.consensus_opinion() == x0.argmax();
+      return out;
+    }
+    case SweepEngine::kGossip: {
+      gossip::GossipUsd sim(x0, rng::Rng(seed));
+      out.converged =
+          sim.run_to_consensus(gossip_round_cap(point.n, point.k));
+      out.parallel_time = static_cast<double>(sim.rounds());
+      out.plurality_won =
+          out.converged && sim.consensus_opinion() == x0.argmax();
+      return out;
+    }
+  }
+  KUSD_CHECK_MSG(false, "unreachable sweep engine");
+}
+
+}  // namespace
+
+Sweep::Sweep(SweepSpec spec) : spec_(std::move(spec)) {
+  KUSD_CHECK_MSG(spec_.trials >= 0, "sweep: negative trial count");
+  KUSD_CHECK_MSG(!spec_.ns.empty() && !spec_.ks.empty() &&
+                     !spec_.bias_values.empty() && !spec_.engines.empty(),
+                 "sweep: every axis needs at least one value");
+  KUSD_CHECK_MSG(
+      spec_.undecided_fraction >= 0.0 && spec_.undecided_fraction < 1.0,
+      "sweep: undecided fraction must be in [0, 1)");
+  // Fail the whole sweep upfront rather than aborting mid-grid after other
+  // points already streamed.
+  for (const auto engine : spec_.engines) {
+    KUSD_CHECK_MSG(engine != SweepEngine::kSynchronized ||
+                       spec_.undecided_fraction == 0.0,
+                   "sweep: the sync engine starts fully decided "
+                   "(undecided fraction must be 0)");
+    if (engine == SweepEngine::kEveryInteraction ||
+        engine == SweepEngine::kSkipUnproductive) {
+      for (const auto n : spec_.ns) {
+        KUSD_CHECK_MSG(n < (std::uint64_t{1} << 32),
+                       "sweep: the every/skip engines cap n below 2^32 "
+                       "(use the batched engine beyond that)");
+      }
+    }
+    KUSD_CHECK_MSG(engine != SweepEngine::kBatchedRounds ||
+                       (spec_.batch_chunk_fraction > 0.0 &&
+                        spec_.batch_chunk_fraction <= 1.0),
+                   "sweep: batched chunk fraction must be in (0, 1]");
+  }
+  for (const double bias : spec_.bias_values) {
+    switch (spec_.bias_kind) {
+      case BiasKind::kNone:
+        break;
+      case BiasKind::kAdditive:
+        // beta is an agent count: casting a negative/huge double to
+        // pp::Count in build_config would be UB.
+        KUSD_CHECK_MSG(bias >= 0.0 && bias <= 1e18 &&
+                           bias == std::floor(bias),
+                       "sweep: additive beta must be a non-negative count");
+        break;
+      case BiasKind::kMultiplicative:
+        KUSD_CHECK_MSG(std::isfinite(bias) && bias > 1.0,
+                       "sweep: multiplicative alpha must exceed 1");
+        break;
+    }
+  }
+  // Construct every grid point's initial configuration once now, so any
+  // infeasible (n, k, bias) combination (e.g. beta exceeding the decided
+  // agents of the smallest n) fails here instead of mid-grid.
+  for (const auto& point : grid()) {
+    const auto config = build_config(spec_, point);
+    // Configuration itself allows decided == 0, but no engine converges
+    // from it (an undecided fraction can round up to the whole population
+    // at small n).
+    KUSD_CHECK_MSG(config.decided() >= 1,
+                   "sweep: undecided fraction leaves no decided agents at "
+                   "n = " + std::to_string(point.n));
+  }
+}
+
+std::vector<SweepPoint> Sweep::grid() const {
+  // With no bias, the bias axis is a single implicit point — listing
+  // several values would just duplicate work.
+  const std::size_t bias_points =
+      spec_.bias_kind == BiasKind::kNone ? 1 : spec_.bias_values.size();
+  std::vector<SweepPoint> points;
+  points.reserve(spec_.engines.size() * spec_.ns.size() * spec_.ks.size() *
+                 bias_points);
+  std::size_t index = 0;
+  for (const auto engine : spec_.engines) {
+    for (const auto n : spec_.ns) {
+      for (const auto k : spec_.ks) {
+        for (std::size_t b = 0; b < bias_points; ++b) {
+          const double bias =
+              spec_.bias_kind == BiasKind::kNone ? 0.0 : spec_.bias_values[b];
+          points.push_back(SweepPoint{engine, n, k, bias, index++});
+        }
+      }
+    }
+  }
+  return points;
+}
+
+SweepCell Sweep::run_point(const SweepPoint& point) const {
+  util::ThreadPool pool(spec_.threads);
+  return run_point(pool, point);
+}
+
+SweepCell Sweep::run_point(util::ThreadPool& pool,
+                           const SweepPoint& point) const {
+  const auto x0 = build_config(spec_, point);
+  util::Stopwatch watch;
+  const std::uint64_t point_seed =
+      rng::derive_stream(spec_.master_seed, point.index);
+  const auto outcomes = run_trials<TrialOutcome>(
+      pool, spec_.trials, point_seed,
+      [this, &point, &x0](std::uint64_t seed) {
+        return run_one(spec_, point, x0, seed);
+      });
+
+  SweepCell cell;
+  cell.point = point;
+  cell.bias_kind = spec_.bias_kind;
+  cell.trials = spec_.trials;
+  cell.parallel_time.reserve(outcomes.size());
+  int converged = 0, won = 0;
+  for (const auto& o : outcomes) {
+    cell.parallel_time.add(o.parallel_time);
+    converged += o.converged ? 1 : 0;
+    won += o.plurality_won ? 1 : 0;
+  }
+  const double denom = outcomes.empty() ? 1.0 : static_cast<double>(
+                                                    outcomes.size());
+  cell.converged_rate = static_cast<double>(converged) / denom;
+  cell.plurality_win_rate = static_cast<double>(won) / denom;
+  cell.wall_seconds = watch.seconds();
+  return cell;
+}
+
+void Sweep::run(const std::function<void(const SweepCell&)>& on_cell) const {
+  // One pool for the whole grid: workers are not respawned per point.
+  util::ThreadPool pool(spec_.threads);
+  for (const auto& point : grid()) on_cell(run_point(pool, point));
+}
+
+std::vector<std::string> Sweep::csv_header() {
+  return {"engine",         "n",
+          "k",              "bias_kind",
+          "bias",           "trials",
+          "converged_rate", "plurality_win_rate",
+          "pt_mean",        "pt_stddev",
+          "pt_median",      "pt_p95",
+          "wall_seconds"};
+}
+
+std::vector<std::string> Sweep::csv_row(const SweepCell& cell) {
+  const auto& pt = cell.parallel_time;
+  return {to_string(cell.point.engine),
+          std::to_string(cell.point.n),
+          std::to_string(cell.point.k),
+          to_string(cell.bias_kind),
+          fmt(cell.point.bias, 6),
+          std::to_string(cell.trials),
+          fmt(cell.converged_rate, 4),
+          fmt(cell.plurality_win_rate, 4),
+          fmt(pt.empty() ? 0.0 : pt.mean(), 4),
+          fmt(pt.empty() ? 0.0 : pt.stddev(), 4),
+          fmt(pt.empty() ? 0.0 : pt.median(), 4),
+          fmt(pt.empty() ? 0.0 : pt.quantile(0.95), 4),
+          fmt(cell.wall_seconds, 4)};
+}
+
+std::string Sweep::json_line(const SweepCell& cell) {
+  const auto header = csv_header();
+  const auto row = csv_row(cell);
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i > 0) os << ',';
+    os << '"' << header[i] << "\":";
+    // engine and bias_kind are enum spellings, everything else numeric.
+    if (header[i] == "engine" || header[i] == "bias_kind") {
+      os << '"' << row[i] << '"';
+    } else {
+      os << row[i];
+    }
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace kusd::runner

@@ -1,0 +1,112 @@
+// Grid sweeps over (engine, n, k, bias): the experiment driver behind
+// `kusd sweep`.
+//
+// A Sweep expands a SweepSpec into the cartesian grid of its axes and runs
+// every grid point as a parallel Monte-Carlo batch (run_trials). Results
+// stream: the per-point aggregate is handed to a callback as soon as the
+// point completes, so CSV/JSONL output appears incrementally during long
+// sweeps instead of after them. All randomness is derived from
+// (master_seed, point index, trial index), making sweeps bit-reproducible
+// regardless of thread count.
+//
+// The comparable metric across engines is *parallel time*: interactions/n
+// for the asynchronous engines (every/skip/batched) and rounds for the
+// synchronous ones (sync counts re-adoption sub-rounds too).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/batched_usd.hpp"
+#include "pp/configuration.hpp"
+#include "stats/summary.hpp"
+#include "util/thread_pool.hpp"
+
+namespace kusd::runner {
+
+/// Simulation engine axis of a sweep.
+enum class SweepEngine {
+  kEveryInteraction,  ///< UsdSimulator, exact, Θ(1) work per interaction
+  kSkipUnproductive,  ///< UsdSimulator with geometric unproductive skips
+  kBatchedRounds,     ///< BatchedUsdSimulator (chunked tau-leap, O(k)/chunk)
+  kSynchronized,      ///< SyncUsd round model (exact, O(k)/round)
+  kGossip,            ///< GossipUsd round model (exact, O(k)/round)
+};
+
+enum class BiasKind { kNone, kAdditive, kMultiplicative };
+
+[[nodiscard]] const char* to_string(SweepEngine engine);
+[[nodiscard]] const char* to_string(BiasKind kind);
+/// Parse the CLI spelling ("every", "skip", "batched", "sync", "gossip").
+[[nodiscard]] std::optional<SweepEngine> parse_engine(const std::string& name);
+
+struct SweepSpec {
+  std::vector<pp::Count> ns = {100000};
+  std::vector<int> ks = {8};
+  BiasKind bias_kind = BiasKind::kNone;
+  /// beta for kAdditive, alpha for kMultiplicative; ignored (single
+  /// implicit point) for kNone.
+  std::vector<double> bias_values = {0.0};
+  std::vector<SweepEngine> engines = {SweepEngine::kSkipUnproductive};
+  /// Fraction of agents starting undecided (kSynchronized requires 0).
+  double undecided_fraction = 0.0;
+  int trials = 25;
+  std::uint64_t master_seed = 1;
+  /// Worker threads per grid point (0 = hardware concurrency).
+  std::size_t threads = 0;
+  /// Chunk fraction for kBatchedRounds.
+  double batch_chunk_fraction = core::BatchedOptions{}.chunk_fraction;
+};
+
+struct SweepPoint {
+  SweepEngine engine;
+  pp::Count n;
+  int k;
+  double bias;
+  /// Position in grid order; seeds the point's trial batch.
+  std::size_t index;
+};
+
+/// Aggregate of one grid point's trial batch.
+struct SweepCell {
+  SweepPoint point;
+  BiasKind bias_kind;
+  int trials;
+  double converged_rate;
+  double plurality_win_rate;
+  /// Per-trial parallel time (see file comment for the per-engine unit).
+  stats::Samples parallel_time;
+  double wall_seconds;
+};
+
+class Sweep {
+ public:
+  explicit Sweep(SweepSpec spec);
+
+  [[nodiscard]] const SweepSpec& spec() const { return spec_; }
+
+  /// The grid in execution order: engine-major, then n, k, bias.
+  [[nodiscard]] std::vector<SweepPoint> grid() const;
+
+  /// Run one grid point (trials in parallel) and aggregate it. The second
+  /// form reuses an existing worker pool, as run() does across the grid.
+  [[nodiscard]] SweepCell run_point(const SweepPoint& point) const;
+  [[nodiscard]] SweepCell run_point(util::ThreadPool& pool,
+                                    const SweepPoint& point) const;
+
+  /// Run the whole grid in order, streaming each completed cell.
+  void run(const std::function<void(const SweepCell&)>& on_cell) const;
+
+  /// Output schema shared by the CSV and JSONL emitters.
+  [[nodiscard]] static std::vector<std::string> csv_header();
+  [[nodiscard]] static std::vector<std::string> csv_row(const SweepCell& cell);
+  [[nodiscard]] static std::string json_line(const SweepCell& cell);
+
+ private:
+  SweepSpec spec_;
+};
+
+}  // namespace kusd::runner

@@ -2,36 +2,59 @@
 //
 // Every trial gets a deterministic, independent seed derived from
 // (master_seed, trial_index), so experiment output is reproducible
-// regardless of thread scheduling: results are collected by index.
+// regardless of thread scheduling or thread count: results are collected
+// by index.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <vector>
 
 #include "rng/rng.hpp"
 #include "stats/summary.hpp"
+#include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
 namespace kusd::runner {
 
-/// Run `trials` independent invocations of fn(seed) in parallel and return
-/// the results in trial order.
+/// Run `trials` independent invocations of fn(seed) on an existing (idle)
+/// pool and return the results in trial order. Rejects negative `trials`.
+/// Trials are striped over a bounded number of pool tasks, each holding
+/// `fn` by reference, so no per-trial std::function is materialized. If a
+/// trial throws, the first exception propagates out (remaining trials in
+/// other stripes still run; the result vector is abandoned).
 template <typename T>
-std::vector<T> run_trials(int trials, std::uint64_t master_seed,
-                          const std::function<T(std::uint64_t)>& fn,
-                          std::size_t threads = 0) {
+std::vector<T> run_trials(util::ThreadPool& pool, int trials,
+                          std::uint64_t master_seed,
+                          const std::function<T(std::uint64_t)>& fn) {
+  KUSD_CHECK_MSG(trials >= 0, "run_trials: negative trial count");
   std::vector<T> results(static_cast<std::size_t>(trials));
-  util::ThreadPool pool(threads);
-  for (int i = 0; i < trials; ++i) {
-    const std::uint64_t seed =
-        rng::derive_stream(master_seed, static_cast<std::uint64_t>(i));
-    pool.submit([&results, &fn, i, seed] {
-      results[static_cast<std::size_t>(i)] = fn(seed);
+  if (trials == 0) return results;
+  // A few stripes per worker keeps load balanced when trial costs vary
+  // without paying one queue entry per trial.
+  const int stripes = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(trials), 4 * pool.num_threads()));
+  for (int s = 0; s < stripes; ++s) {
+    pool.submit([&results, &fn, master_seed, s, stripes, trials] {
+      for (int i = s; i < trials; i += stripes) {
+        results[static_cast<std::size_t>(i)] =
+            fn(rng::derive_stream(master_seed, static_cast<std::uint64_t>(i)));
+      }
     });
   }
   pool.wait_idle();
   return results;
+}
+
+/// Same, with a pool of `threads` workers created for this batch.
+template <typename T>
+std::vector<T> run_trials(int trials, std::uint64_t master_seed,
+                          const std::function<T(std::uint64_t)>& fn,
+                          std::size_t threads = 0) {
+  KUSD_CHECK_MSG(trials >= 0, "run_trials: negative trial count");
+  util::ThreadPool pool(threads);
+  return run_trials<T>(pool, trials, master_seed, fn);
 }
 
 /// Convenience wrapper: run trials producing a double metric and collect

@@ -3,11 +3,17 @@
 // Tasks are type-erased std::function<void()>; submit() returns immediately
 // and wait_idle() blocks until every submitted task has completed. The pool
 // joins its threads in the destructor (no detached threads).
+//
+// A task that throws does NOT take the process down: the first exception is
+// captured and rethrown from the next wait_idle() call (later exceptions
+// are dropped). An exception still pending at destruction is discarded
+// after the queue drains.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -30,7 +36,8 @@ class ThreadPool {
   /// Enqueue a task. Thread-safe.
   void submit(std::function<void()> task);
 
-  /// Block until the queue is empty and no task is running.
+  /// Block until the queue is empty and no task is running. If any task
+  /// threw since the last call, rethrows the first such exception.
   void wait_idle();
 
   [[nodiscard]] std::size_t num_threads() const { return workers_.size(); }
@@ -43,6 +50,7 @@ class ThreadPool {
   std::condition_variable all_done_;
   std::deque<std::function<void()>> queue_;
   std::size_t in_flight_ = 0;
+  std::exception_ptr first_exception_;
   bool shutting_down_ = false;
   std::vector<std::thread> workers_;
 };

@@ -94,5 +94,15 @@ TEST(RunUsd, DefaultCapScalesWithKAndN) {
             core::default_interaction_cap(1000, 2));
 }
 
+TEST(RunUsd, DefaultInteractionCapSaturatesAtHugeN) {
+  // Populations reachable by the batched engine push 64*k*n*(ln n + 1)
+  // past uint64 range; the cap must saturate, not overflow (UB cast).
+  EXPECT_EQ(core::default_interaction_cap(1'000'000'000'000'000'000ULL, 64),
+            ~std::uint64_t{0});
+  // Ordinary sizes are unaffected.
+  EXPECT_LT(core::default_interaction_cap(100000, 8), ~std::uint64_t{0});
+  EXPECT_GT(core::default_interaction_cap(100000, 8), 0u);
+}
+
 }  // namespace
 }  // namespace kusd

@@ -1,0 +1,175 @@
+// The sweep subsystem: grid expansion, streaming aggregation, output
+// schema, and reproducibility.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runner/sweep.hpp"
+#include "util/check.hpp"
+
+namespace kusd {
+namespace {
+
+using runner::BiasKind;
+using runner::Sweep;
+using runner::SweepCell;
+using runner::SweepEngine;
+using runner::SweepSpec;
+
+SweepSpec tiny_spec() {
+  SweepSpec spec;
+  spec.ns = {300, 600};
+  spec.ks = {2, 3};
+  spec.engines = {SweepEngine::kSkipUnproductive, SweepEngine::kGossip};
+  spec.trials = 3;
+  spec.master_seed = 42;
+  spec.threads = 2;
+  return spec;
+}
+
+TEST(Sweep, GridIsCartesianInEngineMajorOrder) {
+  const Sweep sweep(tiny_spec());
+  const auto grid = sweep.grid();
+  ASSERT_EQ(grid.size(), 8u);  // 2 engines x 2 ns x 2 ks x 1 bias
+  EXPECT_EQ(grid[0].engine, SweepEngine::kSkipUnproductive);
+  EXPECT_EQ(grid[0].n, 300u);
+  EXPECT_EQ(grid[0].k, 2);
+  EXPECT_EQ(grid[3].k, 3);
+  EXPECT_EQ(grid[4].engine, SweepEngine::kGossip);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(grid[i].index, i);
+  }
+}
+
+TEST(Sweep, NoBiasCollapsesBiasAxis) {
+  auto spec = tiny_spec();
+  spec.bias_values = {1.5, 2.0, 3.0};  // ignored under BiasKind::kNone
+  EXPECT_EQ(Sweep(spec).grid().size(), 8u);
+  spec.bias_kind = BiasKind::kMultiplicative;
+  EXPECT_EQ(Sweep(spec).grid().size(), 24u);
+}
+
+TEST(Sweep, RunStreamsEveryCellWithMatchingSchema) {
+  const Sweep sweep(tiny_spec());
+  const auto header = Sweep::csv_header();
+  std::vector<SweepCell> cells;
+  sweep.run([&cells, &header](const SweepCell& cell) {
+    EXPECT_EQ(Sweep::csv_row(cell).size(), header.size());
+    cells.push_back(cell);
+  });
+  ASSERT_EQ(cells.size(), 8u);
+  for (const auto& cell : cells) {
+    EXPECT_EQ(cell.trials, 3);
+    EXPECT_EQ(cell.parallel_time.count(), 3u);
+    EXPECT_DOUBLE_EQ(cell.converged_rate, 1.0);  // tiny configs converge
+    EXPECT_GT(cell.parallel_time.mean(), 0.0);
+  }
+}
+
+TEST(Sweep, ReproducibleAcrossRunsAndThreadCounts) {
+  auto spec = tiny_spec();
+  spec.threads = 1;
+  std::vector<double> first;
+  Sweep(spec).run([&first](const SweepCell& cell) {
+    for (double v : cell.parallel_time.values()) first.push_back(v);
+  });
+  spec.threads = 8;
+  std::vector<double> second;
+  Sweep(spec).run([&second](const SweepCell& cell) {
+    for (double v : cell.parallel_time.values()) second.push_back(v);
+  });
+  EXPECT_EQ(first, second);  // bit-identical
+}
+
+TEST(Sweep, MultiplicativeBiasAxisDrivesPluralityWins) {
+  SweepSpec spec;
+  spec.ns = {2000};
+  spec.ks = {4};
+  spec.engines = {SweepEngine::kSkipUnproductive};
+  spec.bias_kind = BiasKind::kMultiplicative;
+  spec.bias_values = {8.0};  // overwhelming plurality
+  spec.trials = 10;
+  std::vector<SweepCell> cells;
+  Sweep(spec).run([&cells](const SweepCell& cell) { cells.push_back(cell); });
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_DOUBLE_EQ(cells[0].plurality_win_rate, 1.0);
+  EXPECT_DOUBLE_EQ(cells[0].point.bias, 8.0);
+}
+
+TEST(Sweep, SynchronizedAndBatchedEnginesRun) {
+  SweepSpec spec;
+  spec.ns = {500};
+  spec.ks = {2};
+  spec.engines = {SweepEngine::kSynchronized, SweepEngine::kBatchedRounds,
+                  SweepEngine::kEveryInteraction};
+  spec.trials = 2;
+  std::vector<SweepCell> cells;
+  Sweep(spec).run([&cells](const SweepCell& cell) { cells.push_back(cell); });
+  ASSERT_EQ(cells.size(), 3u);
+  for (const auto& cell : cells) EXPECT_DOUBLE_EQ(cell.converged_rate, 1.0);
+}
+
+TEST(Sweep, JsonLineQuotesOnlyEnumFields) {
+  const Sweep sweep(tiny_spec());
+  const auto cell = sweep.run_point(sweep.grid()[0]);
+  const std::string json = Sweep::json_line(cell);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"engine\":\"skip\""), std::string::npos);
+  EXPECT_NE(json.find("\"bias_kind\":\"none\""), std::string::npos);
+  EXPECT_NE(json.find("\"n\":300"), std::string::npos);
+  EXPECT_EQ(json.find("\"n\":\"300\""), std::string::npos);
+}
+
+TEST(Sweep, EngineNamesRoundTrip) {
+  for (const auto engine :
+       {SweepEngine::kEveryInteraction, SweepEngine::kSkipUnproductive,
+        SweepEngine::kBatchedRounds, SweepEngine::kSynchronized,
+        SweepEngine::kGossip}) {
+    const auto parsed = runner::parse_engine(runner::to_string(engine));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, engine);
+  }
+  EXPECT_FALSE(runner::parse_engine("warp-drive").has_value());
+}
+
+TEST(Sweep, RejectsInvalidSpecs) {
+  auto spec = tiny_spec();
+  spec.trials = -1;
+  EXPECT_THROW(Sweep{spec}, util::CheckError);
+  spec = tiny_spec();
+  spec.engines.clear();
+  EXPECT_THROW(Sweep{spec}, util::CheckError);
+  spec = tiny_spec();
+  spec.undecided_fraction = 1.5;
+  EXPECT_THROW(Sweep{spec}, util::CheckError);
+  // Constraints that would otherwise only surface mid-grid fail upfront:
+  // per-interaction engines cap n below 2^32, sync needs a decided start,
+  // batched needs a valid chunk fraction.
+  spec = tiny_spec();
+  spec.ns = {300, std::uint64_t{1} << 33};
+  EXPECT_THROW(Sweep{spec}, util::CheckError);
+  spec.engines = {SweepEngine::kBatchedRounds};
+  EXPECT_NO_THROW(Sweep{spec});  // batched has no 32-bit cap
+  spec.batch_chunk_fraction = 2.0;
+  EXPECT_THROW(Sweep{spec}, util::CheckError);
+  spec = tiny_spec();
+  spec.engines = {SweepEngine::kSynchronized};
+  spec.undecided_fraction = 0.5;
+  EXPECT_THROW(Sweep{spec}, util::CheckError);
+  // Bias values are validated upfront too (UB casts otherwise).
+  spec = tiny_spec();
+  spec.bias_kind = BiasKind::kAdditive;
+  spec.bias_values = {-50.0};
+  EXPECT_THROW(Sweep{spec}, util::CheckError);
+  spec.bias_values = {10.0};
+  EXPECT_NO_THROW(Sweep{spec});
+  spec.bias_kind = BiasKind::kMultiplicative;
+  spec.bias_values = {1.0};
+  EXPECT_THROW(Sweep{spec}, util::CheckError);
+}
+
+}  // namespace
+}  // namespace kusd

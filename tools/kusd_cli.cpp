@@ -2,7 +2,8 @@
 //
 // Subcommands:
 //   run       one USD run, printed phases and outcome
-//   sweep     Monte-Carlo sweep over trials, summary statistics
+//   sweep     grid sweep over (engine, n, k, bias) with parallel trials,
+//             streamed to a table and optionally CSV / JSONL
 //   trace     record a trajectory CSV for plotting
 //   exact     exact win probability / expected time (small n, k)
 //
@@ -10,22 +11,29 @@
 //   kusd run --n 100000 --k 8
 //   kusd run --n 65536 --k 4 --bias additive --beta 3000 --seed 7
 //   kusd sweep --n 32768 --k 8 --bias multiplicative --alpha 2 --trials 50
+//   kusd sweep --n 1e5,1e6 --k 8,32 --engine skip,batched,gossip
+//        --trials 20 --out sweep.csv --json sweep.jsonl
 //   kusd trace --n 100000 --k 8 --out trace.csv
 //   kusd exact --n 12 --k 3 --support 6,4,2
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <optional>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/usd_exact.hpp"
 #include "core/run.hpp"
 #include "pp/configuration.hpp"
 #include "pp/trajectory.hpp"
+#include "runner/csv.hpp"
+#include "runner/sweep.hpp"
 #include "runner/table.hpp"
-#include "runner/trials.hpp"
-#include "stats/summary.hpp"
 
 namespace {
 
@@ -37,10 +45,40 @@ using namespace kusd;
       "usage: kusd <run|sweep|trace|exact> [options]\n"
       "  common:  --n N --k K --undecided U --seed S\n"
       "  bias:    --bias none|additive|multiplicative [--beta B | --alpha A]\n"
-      "  sweep:   --trials T\n"
+      "  sweep:   grid axes take comma lists (scientific notation ok):\n"
+      "           --n N1,N2,... --k K1,... --engine every|skip|batched|sync|gossip[,...]\n"
+      "           [--beta B1,... | --alpha A1,...] --trials T --ufrac F\n"
+      "           --threads W --chunk F --out FILE.csv --json FILE.jsonl\n"
       "  trace:   --out FILE.csv\n"
       "  exact:   --support x1,x2,...  (n <= ~20, small k)\n");
   std::exit(exit_code);
+}
+
+// Strict number parsing for every subcommand: a typo'd value must fail
+// loudly, not run a different experiment.
+double parse_number_or_usage(const std::string& item) {
+  char* end = nullptr;
+  const double value = std::strtod(item.c_str(), &end);
+  if (end == item.c_str() || *end != '\0') {
+    std::fprintf(stderr, "cannot parse number '%s'\n", item.c_str());
+    usage();
+  }
+  return value;
+}
+
+std::uint64_t parse_u64_or_usage(const std::string& item) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value =
+      item.empty() || item[0] == '-'
+          ? 0
+          : std::strtoull(item.c_str(), &end, 10);
+  if (end == nullptr || end == item.c_str() || *end != '\0' ||
+      errno == ERANGE) {
+    std::fprintf(stderr, "cannot parse integer '%s'\n", item.c_str());
+    usage();
+  }
+  return value;
 }
 
 struct Args {
@@ -50,14 +88,13 @@ struct Args {
   [[nodiscard]] std::uint64_t get_u64(const std::string& key,
                                       std::uint64_t fallback) const {
     const auto it = options.find(key);
-    return it == options.end() ? fallback
-                               : std::strtoull(it->second.c_str(), nullptr,
-                                               10);
+    return it == options.end() ? fallback : parse_u64_or_usage(it->second);
   }
   [[nodiscard]] double get_double(const std::string& key,
                                   double fallback) const {
     const auto it = options.find(key);
-    return it == options.end() ? fallback : std::atof(it->second.c_str());
+    return it == options.end() ? fallback
+                               : parse_number_or_usage(it->second);
   }
   [[nodiscard]] std::string get_string(const std::string& key,
                                        const std::string& fallback) const {
@@ -134,36 +171,182 @@ int cmd_run(const Args& args) {
   return 0;
 }
 
-int cmd_sweep(const Args& args) {
-  const auto x0 = build_config(args);
-  const int trials = static_cast<int>(args.get_u64("trials", 25));
-  struct Row {
-    double interactions;
-    bool won;
-  };
-  const auto rows = runner::run_trials<Row>(
-      trials, args.get_u64("seed", 1), [&x0](std::uint64_t seed) {
-        core::RunOptions opts;
-        opts.track_phases = false;
-        const auto r = core::run_usd(x0, seed, opts);
-        return Row{static_cast<double>(r.interactions), r.plurality_won};
-      });
-  stats::Samples t;
-  int wins = 0;
-  for (const auto& row : rows) {
-    t.add(row.interactions);
-    wins += row.won ? 1 : 0;
+std::vector<std::string> split_list(const std::string& spec) {
+  std::vector<std::string> items;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t next = spec.find(',', pos);
+    if (next == std::string::npos) next = spec.size();
+    if (next > pos) items.push_back(spec.substr(pos, next - pos));
+    pos = next + 1;
   }
-  runner::Table table({"metric", "value"});
-  table.add_row({"trials", std::to_string(trials)});
-  table.add_row({"mean interactions", runner::fmt(t.mean(), 1)});
-  table.add_row({"std dev", runner::fmt(t.stddev(), 1)});
-  table.add_row({"median", runner::fmt(t.median(), 1)});
-  table.add_row({"p95", runner::fmt(t.quantile(0.95), 1)});
-  table.add_row({"plurality win rate",
-                 runner::fmt(static_cast<double>(wins) / trials, 3)});
+  return items;
+}
+
+// Counts accept scientific notation ("1e6") for ergonomic large-n sweeps.
+std::vector<pp::Count> parse_count_list(const std::string& spec) {
+  std::vector<pp::Count> out;
+  for (const auto& item : split_list(spec)) {
+    const double value = parse_number_or_usage(item);
+    // Cap at 2^53: beyond that the double round-trip silently rounds the
+    // literal, which is exactly the quiet size drift this parser rejects.
+    if (!(value >= 1.0 && value <= 9007199254740992.0) ||
+        value != std::floor(value)) {
+      std::fprintf(stderr, "count '%s' out of range or not an integer\n",
+                   item.c_str());
+      usage();
+    }
+    out.push_back(static_cast<pp::Count>(value));
+  }
+  return out;
+}
+
+std::vector<double> parse_double_list(const std::string& spec) {
+  std::vector<double> out;
+  for (const auto& item : split_list(spec)) {
+    out.push_back(parse_number_or_usage(item));
+  }
+  return out;
+}
+
+int cmd_sweep(const Args& args) {
+  // Unknown keys must fail, not be dropped: `--trails 500` running the
+  // default 25 trials for hours is worse than an error. The bias-value
+  // flag must also match the bias kind.
+  const std::string bias_kind = args.get_string("bias", "none");
+  for (const auto& [key, value] : args.options) {
+    static const std::set<std::string> known = {
+        "n",      "k",     "engine", "bias",    "beta", "alpha",
+        "undecided", "ufrac", "trials", "seed", "threads", "chunk",
+        "out",    "json"};
+    if (known.count(key) == 0) {
+      std::fprintf(stderr, "unknown sweep option --%s\n", key.c_str());
+      usage();
+    }
+    if ((key == "beta" && bias_kind != "additive") ||
+        (key == "alpha" && bias_kind != "multiplicative")) {
+      std::fprintf(stderr, "--%s requires --bias %s\n", key.c_str(),
+                   key == "beta" ? "additive" : "multiplicative");
+      usage();
+    }
+  }
+
+  runner::SweepSpec spec;
+  spec.ns = parse_count_list(args.get_string("n", "100000"));
+  std::vector<int> ks;
+  for (const auto n : parse_count_list(args.get_string("k", "8"))) {
+    if (n > (std::uint64_t{1} << 30)) {
+      std::fprintf(stderr, "--k value too large\n");
+      usage();
+    }
+    ks.push_back(static_cast<int>(n));
+  }
+  spec.ks = ks;
+  if (spec.ns.empty() || spec.ks.empty()) usage();
+
+  if (bias_kind == "additive") {
+    spec.bias_kind = runner::BiasKind::kAdditive;
+    spec.bias_values = parse_double_list(
+        args.get_string("beta", std::to_string(spec.ns.front() / 100)));
+  } else if (bias_kind == "multiplicative") {
+    spec.bias_kind = runner::BiasKind::kMultiplicative;
+    spec.bias_values = parse_double_list(args.get_string("alpha", "2"));
+  } else if (bias_kind != "none") {
+    usage();
+  }
+
+  spec.engines.clear();
+  for (const auto& name : split_list(args.get_string("engine", "skip"))) {
+    const auto engine = runner::parse_engine(name);
+    if (!engine) {
+      std::fprintf(stderr, "unknown engine '%s'\n", name.c_str());
+      usage();
+    }
+    spec.engines.push_back(*engine);
+  }
+
+  spec.undecided_fraction = args.get_double("ufrac", 0.0);
+  // --undecided (absolute count, shared with `run`) is honored for
+  // single-n sweeps; a count is ambiguous across an n grid.
+  if (args.options.count("undecided") != 0) {
+    if (args.options.count("ufrac") != 0 || spec.ns.size() != 1) {
+      std::fprintf(stderr,
+                   "--undecided needs a single --n and excludes --ufrac; "
+                   "use --ufrac for n grids\n");
+      usage();
+    }
+    spec.undecided_fraction =
+        static_cast<double>(args.get_u64("undecided", 0)) /
+        static_cast<double>(spec.ns.front());
+  }
+  const std::uint64_t trials = args.get_u64("trials", 25);
+  if (trials > 1'000'000'000) {
+    std::fprintf(stderr, "--trials too large\n");
+    usage();
+  }
+  spec.trials = static_cast<int>(trials);
+  spec.master_seed = args.get_u64("seed", 1);
+  const std::uint64_t threads = args.get_u64("threads", 0);
+  if (threads > 65536) {
+    std::fprintf(stderr, "--threads too large\n");
+    usage();
+  }
+  spec.threads = static_cast<std::size_t>(threads);
+  spec.batch_chunk_fraction =
+      args.get_double("chunk", spec.batch_chunk_fraction);
+
+  const runner::Sweep sweep(std::move(spec));
+  const std::string csv_path = args.get_string("out", "");
+  const std::string json_path = args.get_string("json", "");
+  std::optional<runner::CsvWriter> csv;
+  if (!csv_path.empty()) csv.emplace(csv_path, runner::Sweep::csv_header());
+  std::FILE* json = nullptr;
+  if (!json_path.empty()) {
+    json = std::fopen(json_path.c_str(), "w");
+    if (json == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+
+  runner::Table table(runner::Sweep::csv_header());
+  const std::size_t total = sweep.grid().size();
+  std::size_t cells = 0;
+  sweep.run([&](const runner::SweepCell& cell) {
+    const auto row = runner::Sweep::csv_row(cell);
+    table.add_row(row);
+    if (csv) {
+      csv->write_row(row);
+      csv->flush();
+    }
+    if (json != nullptr) {
+      std::fprintf(json, "%s\n", runner::Sweep::json_line(cell).c_str());
+      std::fflush(json);
+    }
+    ++cells;
+    // Live progress on stderr; the aligned table needs all rows for its
+    // column widths and is printed to stdout at the end.
+    std::fprintf(stderr, "[%zu/%zu] %s n=%llu k=%d done in %.2fs\n", cells,
+                 total, runner::to_string(cell.point.engine),
+                 static_cast<unsigned long long>(cell.point.n), cell.point.k,
+                 cell.wall_seconds);
+  });
   table.print();
-  return 0;
+  int rc = 0;
+  if (csv && !csv->ok()) {
+    // A disk-full/I/O failure mid-sweep must not exit 0 advertising a
+    // truncated file as complete output.
+    std::fprintf(stderr, "error: writing %s failed\n", csv_path.c_str());
+    rc = 1;
+  }
+  if (json != nullptr && std::fclose(json) != 0) {
+    std::fprintf(stderr, "error: writing %s failed\n", json_path.c_str());
+    rc = 1;
+  }
+  std::printf("%zu grid cells x %d trials\n", cells, sweep.spec().trials);
+  if (!csv_path.empty()) std::printf("csv: %s\n", csv_path.c_str());
+  if (!json_path.empty()) std::printf("jsonl: %s\n", json_path.c_str());
+  return rc;
 }
 
 int cmd_trace(const Args& args) {
@@ -195,13 +378,8 @@ int cmd_exact(const Args& args) {
     const auto x0 = pp::Configuration::uniform(n, k, 0);
     support.assign(x0.opinions().begin(), x0.opinions().end());
   } else {
-    std::size_t pos = 0;
-    while (pos < spec.size()) {
-      std::size_t next = spec.find(',', pos);
-      if (next == std::string::npos) next = spec.size();
-      support.push_back(
-          std::strtoull(spec.substr(pos, next - pos).c_str(), nullptr, 10));
-      pos = next + 1;
+    for (const auto& item : split_list(spec)) {
+      support.push_back(parse_u64_or_usage(item));
     }
     if (static_cast<int>(support.size()) != k) {
       std::fprintf(stderr, "--support must list exactly k values\n");
