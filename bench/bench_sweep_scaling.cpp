@@ -1,0 +1,123 @@
+// E15 — sweep scheduler scaling: point-parallel execution of
+// many-small-point grids.
+//
+// runner::Sweep has two ways to use a worker pool: stripe the trials of
+// one point at a time (trial-parallel, the default) or stripe whole grid
+// points (point_parallelism). For grids of many tiny points the
+// per-point fan-out/join of trial-parallelism is pure overhead, and
+// point-parallel mode should scale near-linearly with the worker count
+// until the hardware runs out.
+//
+// This bench runs one such grid — engine x k x bias, small n, a few
+// trials per point — sequentially and point-parallel at increasing
+// thread counts, verifies the streamed rows are byte-identical in every
+// mode (the determinism contract), and writes the wall-clock trajectory
+// to BENCH_sweep.json. Scaling is only observable with real cores:
+// hardware_concurrency is recorded so a 1-core CI smoke run reporting
+// speedup ~1 is interpretable.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "runner/sweep.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace kusd;
+
+namespace {
+
+runner::SweepSpec grid_spec() {
+  runner::SweepSpec spec;
+  // Many small points: 2 engines x 2 n x 3 k x 4 alpha = 48 cells of a
+  // few hundred agents each.
+  spec.engines = {runner::SweepEngine::kSkipUnproductive,
+                  runner::SweepEngine::kGossip};
+  spec.ns = {runner::scaled(2000, 200), runner::scaled(4000, 400)};
+  spec.ks = {2, 4, 8};
+  spec.bias_kind = runner::BiasKind::kMultiplicative;
+  spec.bias_values = {1.5, 2.0, 3.0, 4.0};
+  spec.trials = runner::scaled_trials(8, 2);
+  spec.master_seed = 0xE15;
+  return spec;
+}
+
+/// Render the streamed rows into one string (the byte-identity witness).
+std::string run_rendered(const runner::SweepSpec& spec, double* seconds) {
+  const runner::Sweep sweep(spec);
+  std::string out;
+  util::Stopwatch watch;
+  sweep.run([&out](const runner::SweepCell& cell) {
+    for (const auto& field : runner::Sweep::csv_row(cell)) {
+      out += field;
+      out += ',';
+    }
+    out += '\n';
+  });
+  *seconds = watch.seconds();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E15", "point-parallel sweep scaling",
+                "Grids of many tiny points: point-parallel execution vs "
+                "sequential points, byte-identical output, wall-clock per "
+                "thread count.");
+
+  auto spec = grid_spec();
+  const std::size_t hardware = std::thread::hardware_concurrency();
+  const std::size_t grid_cells = runner::Sweep(spec).grid().size();
+
+  double sequential_s = 0.0;
+  spec.threads = 1;
+  const std::string reference = run_rendered(spec, &sequential_s);
+
+  runner::Table table({"mode", "threads", "seconds", "speedup", "identical"});
+  table.add_row({"sequential", "1", runner::fmt(sequential_s, 3), "1.0",
+                 "(reference)"});
+
+  bench::JsonResult json;
+  json.add_string("bench", "bench_sweep_scaling");
+  json.add("repro_scale", runner::repro_scale());
+  json.add("hardware_concurrency", static_cast<std::uint64_t>(hardware));
+  json.add("grid_cells", static_cast<std::uint64_t>(grid_cells));
+  json.add("trials_per_cell", spec.trials);
+  json.add("sequential_seconds", sequential_s);
+
+  bool all_identical = true;
+  double best_speedup = 1.0;
+  std::vector<std::size_t> thread_counts = {1, 2, 4};
+  if (hardware > 4) thread_counts.push_back(hardware);
+  for (const std::size_t threads : thread_counts) {
+    spec.threads = threads;
+    spec.point_parallelism = true;
+    spec.shuffle_points = threads == thread_counts.back();
+    double seconds = 0.0;
+    const std::string rendered = run_rendered(spec, &seconds);
+    const bool identical = rendered == reference;
+    all_identical = all_identical && identical;
+    const double speedup = sequential_s / std::max(seconds, 1e-9);
+    best_speedup = std::max(best_speedup, speedup);
+    table.add_row({spec.shuffle_points ? "point-parallel+shuffle"
+                                       : "point-parallel",
+                   std::to_string(threads), runner::fmt(seconds, 3),
+                   runner::fmt(speedup, 2), identical ? "yes" : "NO"});
+    json.add("point_parallel_seconds_t" + std::to_string(threads), seconds);
+    json.add("speedup_t" + std::to_string(threads), speedup);
+  }
+  table.print();
+
+  json.add("best_speedup", best_speedup);
+  json.add_bool("output_byte_identical", all_identical);
+  const bool json_ok = json.write("BENCH_sweep.json");
+  std::printf("\noutput byte-identical across modes: %s\n",
+              all_identical ? "yes" : "NO");
+  std::printf("wrote BENCH_sweep.json\n");
+  // Byte-identity is a correctness contract, not a perf number: fail the
+  // bench (and the bench-smoke CI run) if it breaks.
+  return (all_identical && json_ok) ? 0 : 1;
+}

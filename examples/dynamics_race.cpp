@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
       core::RunOptions opts;
       opts.track_phases = false;
       const auto r = core::run_usd(
-          initial, rng::derive_stream(1, static_cast<std::uint64_t>(t)),
+          initial, rng::stream_seed(1, static_cast<std::uint64_t>(t)),
           opts);
       total += r.parallel_time;
       wins += r.plurality_won ? 1 : 0;
@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
     for (int t = 0; t < trials; ++t) {
       core::DynamicsScheduler sched(
           *dyn, initial,
-          rng::Rng(rng::derive_stream(2, static_cast<std::uint64_t>(t))));
+          rng::Rng(rng::stream_seed(2, static_cast<std::uint64_t>(t))));
       const bool ok = sched.run_to_consensus(
           400ull * n * static_cast<std::uint64_t>(k) * 20ull);
       total += static_cast<double>(sched.activations()) /
@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
     double total = 0.0;
     int wins = 0;
     for (int t = 0; t < trials; ++t) {
-      core::SyncUsd sync(initial, rng::Rng(rng::derive_stream(
+      core::SyncUsd sync(initial, rng::Rng(rng::stream_seed(
                                       3, static_cast<std::uint64_t>(t))));
       const bool ok = sync.run_to_consensus(100000);
       total += static_cast<double>(sync.total_rounds());

@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
     for (int t = 0; t < trials; ++t) {
       core::UsdSimulator sim(
           pp::Configuration({a, b}, 0),
-          rng::Rng(rng::derive_stream(10, static_cast<std::uint64_t>(t))),
+          rng::Rng(rng::stream_seed(10, static_cast<std::uint64_t>(t))),
           core::UsdOptions{core::StepMode::kSkipUnproductive});
       sim.run_to_consensus(1ull << 40);
       usd_correct += sim.consensus_opinion() == 0 ? 1 : 0;
@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
       const std::vector<std::uint64_t> init{a, b, 0, 0};
       pp::CountScheduler sched(
           exact, init,
-          rng::Rng(rng::derive_stream(20, static_cast<std::uint64_t>(t))));
+          rng::Rng(rng::stream_seed(20, static_cast<std::uint64_t>(t))));
       sched.run_until(
           [](std::span<const std::uint64_t> c) {
             return (c[1] == 0 && c[3] == 0) || (c[0] == 0 && c[2] == 0);

@@ -1,7 +1,6 @@
 #include "core/batched_usd.hpp"
 
 #include <algorithm>
-#include <cmath>
 
 #include "core/stepping.hpp"
 #include "util/check.hpp"
@@ -13,28 +12,27 @@ BatchedUsdSimulator::BatchedUsdSimulator(const pp::Configuration& initial,
     : opinions_(initial.opinions().begin(), initial.opinions().end()),
       undecided_(initial.undecided()),
       n_(initial.n()),
+      controller_(options, initial.n()),
       engine_(initial.k()),
       rng_(rng) {
   KUSD_CHECK_MSG(initial.decided() >= 1,
                  "an all-undecided population never converges");
-  KUSD_CHECK_MSG(options.chunk_fraction > 0.0 && options.chunk_fraction <= 1.0,
-                 "chunk_fraction must be in (0, 1]");
-  const double target = options.chunk_fraction * static_cast<double>(n_);
-  chunk_target_ = std::max<std::uint64_t>(
-      1, static_cast<std::uint64_t>(std::llround(target)));
   for (int i = 0; i < initial.k(); ++i) {
     if (initial.opinion(i) == n_) winner_ = i;
   }
 }
 
-void BatchedUsdSimulator::step() {
+void BatchedUsdSimulator::step(std::uint64_t max_length) {
   KUSD_DCHECK(!winner_.has_value());
-  std::uint64_t m = chunk_target_;
+  KUSD_DCHECK(max_length >= 1);
+  std::uint64_t m =
+      std::min(controller_.propose(opinions_, undecided_), max_length);
   // A frozen-rate draw can overshoot a count; halve and redraw. m == 1
   // realizes exactly one interaction-chain event and always succeeds.
   while (true) {
     ++chunks_;
     if (engine_.try_async_chunk(opinions_, undecided_, n_, m, rng_)) break;
+    controller_.on_reject();
     m = std::max<std::uint64_t>(1, m / 2);
   }
   interactions_ += m;
@@ -50,8 +48,25 @@ bool BatchedUsdSimulator::run_to_consensus(std::uint64_t max_interactions) {
 bool BatchedUsdSimulator::run_observed(std::uint64_t max_interactions,
                                        std::uint64_t interval,
                                        const UsdSimulator::Observer& observer) {
-  return detail::run_sim_observed(*this, max_interactions, interval,
-                                  observer);
+  KUSD_CHECK_MSG(interval > 0, "observer interval must be positive");
+  // Unlike the shared driver in stepping.hpp (which reports at the first
+  // step past each boundary — the right contract for engines advancing one
+  // interaction at a time), chunks here are clamped so the trajectory
+  // lands exactly on every multiple of `interval`: phase-tracker
+  // milestones are then measured at the boundary itself instead of up to a
+  // chunk later.
+  observer(interactions_, opinions_, undecided_);
+  std::uint64_t next = interactions_ + interval;
+  while (!is_consensus() && interactions_ < max_interactions) {
+    const std::uint64_t stop = std::min(next, max_interactions);
+    step(stop - interactions_);
+    if (interactions_ == next) {
+      observer(interactions_, opinions_, undecided_);
+      next += interval;
+    }
+  }
+  observer(interactions_, opinions_, undecided_);
+  return is_consensus();
 }
 
 }  // namespace kusd::core

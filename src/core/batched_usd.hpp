@@ -3,15 +3,18 @@
 //
 // Each step freezes the per-interaction transition rates at the current
 // configuration and draws the aggregate event counts of a whole chunk of
-// `chunk_fraction * n` interactions from one multinomial (RoundEngine::
-// try_async_chunk). This is the standard tau-leap approximation of the
-// jump chain: exact when the chunk is a single interaction, and accurate
-// whenever the rates change little across a chunk (relative count changes
-// of order chunk_fraction). Chunks that would overshoot a count are halved
-// and redrawn down to a single interaction, which is always exact, so the
-// simulator is well-defined in every state. The approximation quality is
-// validated against StepMode::kEveryInteraction by KS property tests
-// (tests/test_batched_usd.cpp).
+// interactions from one multinomial (RoundEngine::try_async_chunk). This
+// is the standard tau-leap approximation of the jump chain: exact when
+// the chunk is a single interaction, and accurate whenever the rates
+// change little across a chunk. The chunk length comes from a
+// ChunkController — a fixed fraction of n (ChunkPolicy::kFixed, the
+// bit-compatible default) or an error-controlled adaptive schedule
+// (ChunkPolicy::kAdaptive) that bounds the predicted rate drift per chunk
+// (see chunk_controller.hpp). Chunks that would overshoot a count are
+// halved and redrawn down to a single interaction, which is always exact,
+// so the simulator is well-defined in every state. The approximation
+// quality is validated against StepMode::kEveryInteraction by KS property
+// tests (tests/test_batched_usd.cpp, tests/test_chunk_controller.cpp).
 //
 // Unlike UsdSimulator, populations are not limited to 32 bits: only k+1
 // counts are stored, so n = 10^9 and beyond run comfortably (see
@@ -23,6 +26,7 @@
 #include <span>
 #include <vector>
 
+#include "core/chunk_controller.hpp"
 #include "core/round_engine.hpp"
 #include "core/usd.hpp"
 #include "pp/configuration.hpp"
@@ -30,13 +34,9 @@
 
 namespace kusd::core {
 
-struct BatchedOptions {
-  /// Target chunk length as a fraction of n interactions. Smaller is more
-  /// accurate (1/n recovers the exact chain); the default keeps the
-  /// tau-leap bias below statistical noise in every property test while
-  /// still advancing Θ(n) interactions per O(k) step.
-  double chunk_fraction = 0.02;
-};
+/// Chunk-schedule options of the batched engine. The alias keeps PR-2
+/// call sites (brace-initializing the leading chunk_fraction) meaning "fixed-fraction chunks".
+using BatchedOptions = ChunkOptions;
 
 class BatchedUsdSimulator {
  public:
@@ -44,15 +44,18 @@ class BatchedUsdSimulator {
                       BatchedOptions options = {});
 
   /// Advance one chunk (possibly halved on overshoot; at least one
-  /// interaction).
-  void step();
+  /// interaction). The proposed chunk is clamped to `max_length`
+  /// interactions, which run_observed uses to land exactly on observation
+  /// boundaries.
+  void step(std::uint64_t max_length = ~std::uint64_t{0});
 
   /// Run until consensus or until `max_interactions` have elapsed.
   bool run_to_consensus(std::uint64_t max_interactions);
 
-  /// Same contract as UsdSimulator::run_observed with chunk granularity:
-  /// the observer fires at the first chunk boundary past each multiple of
-  /// `interval`.
+  /// Same contract as UsdSimulator::run_observed, and exact about
+  /// boundaries: chunks are clamped so the observer fires exactly at every
+  /// multiple of `interval` (and never past `max_interactions`), rather
+  /// than at the first chunk boundary beyond it.
   bool run_observed(std::uint64_t max_interactions, std::uint64_t interval,
                     const UsdSimulator::Observer& observer);
 
@@ -79,7 +82,7 @@ class BatchedUsdSimulator {
   std::vector<pp::Count> opinions_;
   pp::Count undecided_;
   pp::Count n_;
-  std::uint64_t chunk_target_;
+  ChunkController controller_;
   RoundEngine engine_;
   rng::Rng rng_;
   std::uint64_t interactions_ = 0;

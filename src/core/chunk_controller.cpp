@@ -1,0 +1,110 @@
+#include "core/chunk_controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace kusd::core {
+
+const char* to_string(ChunkPolicy policy) {
+  switch (policy) {
+    case ChunkPolicy::kFixed: return "fixed";
+    case ChunkPolicy::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
+std::optional<ChunkPolicy> parse_chunk_policy(const std::string& name) {
+  if (name == "fixed") return ChunkPolicy::kFixed;
+  if (name == "adaptive") return ChunkPolicy::kAdaptive;
+  return std::nullopt;
+}
+
+ChunkController::ChunkController(const ChunkOptions& options, pp::Count n)
+    : options_(options), n_(n) {
+  KUSD_CHECK_MSG(options.chunk_fraction > 0.0 && options.chunk_fraction <= 1.0,
+                 "chunk_fraction must be in (0, 1]");
+  const auto& a = options.adaptive;
+  KUSD_CHECK_MSG(a.drift_tolerance > 0.0 && a.drift_tolerance <= 1.0,
+                 "drift_tolerance must be in (0, 1]");
+  KUSD_CHECK_MSG(a.min_fraction >= 0.0 && a.min_fraction <= a.max_fraction &&
+                     a.max_fraction <= 1.0,
+                 "need 0 <= min_fraction <= max_fraction <= 1");
+  KUSD_CHECK_MSG(a.grow_factor > 1.0, "grow_factor must exceed 1");
+
+  const double dn = static_cast<double>(n);
+  fixed_chunk_ = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::llround(options.chunk_fraction * dn)));
+  min_chunk_ = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::llround(a.min_fraction * dn)));
+  max_chunk_ = std::max<std::uint64_t>(
+      min_chunk_,
+      static_cast<std::uint64_t>(std::llround(a.max_fraction * dn)));
+  last_ = min_chunk_;
+}
+
+std::uint64_t ChunkController::propose(std::span<const pp::Count> opinions,
+                                       pp::Count undecided) {
+  if (options_.policy == ChunkPolicy::kFixed) return fixed_chunk_;
+
+  // Per-interaction moments of every count, in closed form at the frozen
+  // configuration (rates in units of probability per interaction):
+  //   opinion j:  gains w.p. u*x_j / n^2, loses w.p. x_j*(d - x_j) / n^2
+  //   undecided:  gains w.p. sum_j x_j*(d - x_j) / n^2 = (d^2 - S2) / n^2,
+  //               loses w.p. u*d / n^2
+  // The admissible chunk is the largest m keeping both m*|mu| (drift) and
+  // m*sigma2 (fluctuation variance) within the tolerance band of every
+  // count, i.e. the standard tau-selection bound, computable in O(k).
+  const double tol = options_.adaptive.drift_tolerance;
+  const double dn = static_cast<double>(n_);
+  const double inv_n2 = 1.0 / (dn * dn);
+  const double du = static_cast<double>(undecided);
+  const double dd = dn - du;  // decided agents
+
+  double bound = static_cast<double>(max_chunk_);
+  double sum_sq = 0.0;
+  for (const pp::Count count : opinions) {
+    if (count == 0) continue;
+    const double xj = static_cast<double>(count);
+    sum_sq += xj * xj;
+    const double gain = du * xj * inv_n2;
+    const double loss = xj * (dd - xj) * inv_n2;
+    const double band = std::max(tol * xj, 1.0);
+    const double drift = std::abs(gain - loss);
+    if (drift > 0.0) bound = std::min(bound, band / drift);
+    const double sigma2 = gain + loss;
+    if (sigma2 > 0.0) bound = std::min(bound, band * band / sigma2);
+  }
+  {
+    const double gain = (dd * dd - sum_sq) * inv_n2;
+    const double loss = du * dd * inv_n2;
+    const double band = std::max(tol * du, 1.0);
+    const double drift = std::abs(gain - loss);
+    if (drift > 0.0) bound = std::min(bound, band / drift);
+    const double sigma2 = gain + loss;
+    if (sigma2 > 0.0) bound = std::min(bound, band * band / sigma2);
+  }
+
+  auto target = static_cast<std::uint64_t>(
+      std::clamp(std::floor(bound), 1.0, static_cast<double>(max_chunk_)));
+  // Geometric rate limit on growth; shrinking takes effect immediately
+  // (the error bound is a hard cap, the baseline only damps growth).
+  const auto grow_cap = static_cast<std::uint64_t>(std::min(
+      static_cast<double>(max_chunk_),
+      std::max(1.0, static_cast<double>(last_) *
+                        options_.adaptive.grow_factor)));
+  target = std::min(target, grow_cap);
+  target = std::clamp(target, std::max<std::uint64_t>(1, min_chunk_),
+                      max_chunk_);
+  last_ = target;
+  return target;
+}
+
+void ChunkController::on_reject() {
+  if (options_.policy == ChunkPolicy::kFixed) return;
+  last_ = std::max<std::uint64_t>(std::max<std::uint64_t>(1, min_chunk_),
+                                  last_ / 2);
+}
+
+}  // namespace kusd::core

@@ -1,0 +1,114 @@
+// Chunk-length control for the tau-leaping batched simulator.
+//
+// BatchedUsdSimulator advances the asynchronous USD chain in chunks of m
+// interactions with the transition rates frozen at the chunk's starting
+// configuration. The approximation error of a chunk is governed by how far
+// the per-interaction rates drift across it, and that drift is predictable
+// in O(k) from the current counts: the expected per-interaction change of
+// every count (and its variance) is a closed-form function of
+// (x_1..x_k, u, n). ChunkController turns that prediction into a step-size
+// policy:
+//
+//  * ChunkPolicy::kFixed — the PR-2 behaviour, bit-for-bit: a constant
+//    chunk of chunk_fraction * n interactions. Kept as the default so
+//    seeded runs stay reproducible across revisions.
+//  * ChunkPolicy::kAdaptive — an error-controlled chunk in the style of
+//    Cao–Gillespie tau-selection: the largest m such that, for every
+//    count c with per-interaction drift mu_c and variance sigma2_c,
+//        m * |mu_c|        <= tol * max(c, 1)     (predicted drift)
+//        m * sigma2_c      <= (tol * max(c, 1))^2 (predicted fluctuation)
+//    clamped to [min_fraction, max_fraction] of n and moved geometrically
+//    (at most grow_factor per step) so one noisy estimate cannot slam the
+//    chunk around. Flat mid-run regimes take chunks far larger than the
+//    fixed default; near-absorbing and early phase-transition states drop
+//    automatically toward the exact single-interaction chain.
+//
+// The controller is pure bookkeeping: it never draws randomness, so for a
+// fixed sequence of observed configurations its proposals are
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "pp/configuration.hpp"
+
+namespace kusd::core {
+
+enum class ChunkPolicy {
+  kFixed,     ///< constant chunk_fraction * n interactions per draw
+  kAdaptive,  ///< error-controlled (rate-drift bound), grows/shrinks
+};
+
+[[nodiscard]] const char* to_string(ChunkPolicy policy);
+/// Parse the CLI spelling ("fixed", "adaptive").
+[[nodiscard]] std::optional<ChunkPolicy> parse_chunk_policy(
+    const std::string& name);
+
+/// Knobs of ChunkPolicy::kAdaptive (ignored under kFixed).
+struct AdaptiveChunkOptions {
+  /// Bound on the predicted relative drift (and relative standard
+  /// deviation) of every count across one chunk. Smaller is more accurate;
+  /// the default keeps the adaptive engine within KS detectability of the
+  /// exact chain in every property test.
+  double drift_tolerance = 0.05;
+  /// Exactness floor: chunks never shrink below max(1, min_fraction * n)
+  /// interactions. 0 allows the exact single-interaction chain.
+  double min_fraction = 0.0;
+  /// Ceiling: chunks never exceed max_fraction * n interactions.
+  double max_fraction = 0.5;
+  /// Geometric growth limit per committed step (> 1). Shrinking is
+  /// immediate (the error bound is a hard cap); growth is rate-limited so
+  /// one flat-looking configuration cannot jump straight to the ceiling.
+  double grow_factor = 2.0;
+};
+
+/// Options of the batched engine's chunk schedule. The first member keeps
+/// brace-initialization compatibility with the PR-2 BatchedOptions
+/// (`{0.02}` still means "fixed 2% chunks").
+struct ChunkOptions {
+  /// Chunk length under kFixed, as a fraction of n.
+  double chunk_fraction = 0.02;
+  ChunkPolicy policy = ChunkPolicy::kFixed;
+  AdaptiveChunkOptions adaptive = {};
+};
+
+class ChunkController {
+ public:
+  /// Validates the options against the population size `n` (throws
+  /// util::CheckError on out-of-range knobs).
+  ChunkController(const ChunkOptions& options, pp::Count n);
+
+  [[nodiscard]] const ChunkOptions& options() const { return options_; }
+
+  /// Propose the next chunk length (always >= 1) for the current
+  /// configuration. O(k). Under kFixed the proposal is the constant
+  /// chunk_fraction * n; under kAdaptive it is the error bound described
+  /// in the file comment, geometrically rate-limited against the previous
+  /// proposal.
+  [[nodiscard]] std::uint64_t propose(std::span<const pp::Count> opinions,
+                                      pp::Count undecided);
+
+  /// Feedback from the simulator: the last chunk overshot a count and was
+  /// rejected by the frozen-rate draw. Shrinks the adaptive baseline so
+  /// the next proposal starts from the halved length. No-op under kFixed.
+  void on_reject();
+
+  /// The smallest chunk the controller will propose.
+  [[nodiscard]] std::uint64_t min_chunk() const { return min_chunk_; }
+  /// The largest chunk the controller will propose.
+  [[nodiscard]] std::uint64_t max_chunk() const { return max_chunk_; }
+
+ private:
+  ChunkOptions options_;
+  pp::Count n_;
+  std::uint64_t min_chunk_ = 1;
+  std::uint64_t max_chunk_ = 1;
+  std::uint64_t fixed_chunk_ = 1;
+  /// Last adaptive proposal (growth baseline).
+  std::uint64_t last_ = 0;
+};
+
+}  // namespace kusd::core

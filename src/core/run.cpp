@@ -66,8 +66,7 @@ RunResult run_usd(const pp::Configuration& initial, std::uint64_t seed,
                                                           initial.k());
 
   if (options.mode == StepMode::kBatchedRounds) {
-    BatchedUsdSimulator sim(initial, rng::Rng(seed),
-                            BatchedOptions{options.batch_chunk_fraction});
+    BatchedUsdSimulator sim(initial, rng::Rng(seed), options.batch);
     run_with(sim, initial, options, cap, result);
   } else {
     UsdSimulator sim(initial, rng::Rng(seed),

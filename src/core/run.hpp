@@ -20,9 +20,9 @@ struct RunOptions {
   std::uint64_t max_interactions = 0;
   StepMode mode = StepMode::kSkipUnproductive;
   urn::UrnEngine engine = urn::UrnEngine::kAuto;
-  /// Chunk length for StepMode::kBatchedRounds, as a fraction of n
-  /// interactions per multinomial draw (see BatchedOptions).
-  double batch_chunk_fraction = BatchedOptions{}.chunk_fraction;
+  /// Chunk schedule for StepMode::kBatchedRounds: fixed chunk fraction or
+  /// the error-controlled adaptive policy (see chunk_controller.hpp).
+  BatchedOptions batch;
   /// Track T1..T5; snapshots are taken every `observe_interval`
   /// interactions (0 picks n/8, a resolution far below phase lengths).
   bool track_phases = true;

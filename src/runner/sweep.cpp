@@ -1,6 +1,9 @@
 #include "runner/sweep.hpp"
 
+#include <charconv>
 #include <cmath>
+#include <cstdlib>
+#include <mutex>
 #include <sstream>
 #include <utility>
 
@@ -34,12 +37,37 @@ const char* to_string(BiasKind kind) {
   return "?";
 }
 
+std::string to_string(const StartProfile& start) {
+  if (start.kind == StartProfile::Kind::kUniform) return "uniform";
+  // Shortest round-trip formatting: the spelling in the output schema
+  // must parse back to exactly the ratio that ran (0.5 stays "0.5",
+  // awkward ratios keep every significant digit).
+  char buffer[32];
+  const auto result =
+      std::to_chars(buffer, buffer + sizeof buffer, start.ratio);
+  return "geometric:" + std::string(buffer, result.ptr);
+}
+
 std::optional<SweepEngine> parse_engine(const std::string& name) {
   if (name == "every") return SweepEngine::kEveryInteraction;
   if (name == "skip") return SweepEngine::kSkipUnproductive;
   if (name == "batched") return SweepEngine::kBatchedRounds;
   if (name == "sync") return SweepEngine::kSynchronized;
   if (name == "gossip") return SweepEngine::kGossip;
+  return std::nullopt;
+}
+
+std::optional<StartProfile> parse_start_profile(const std::string& name) {
+  if (name == "uniform") return StartProfile{};
+  const std::string prefix = "geometric:";
+  if (name.rfind(prefix, 0) == 0) {
+    const std::string value = name.substr(prefix.size());
+    char* end = nullptr;
+    const double ratio = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0') return std::nullopt;
+    if (!(ratio > 0.0 && ratio <= 1.0)) return std::nullopt;
+    return StartProfile{StartProfile::Kind::kGeometric, ratio};
+  }
   return std::nullopt;
 }
 
@@ -56,6 +84,10 @@ pp::Configuration build_config(const SweepSpec& spec, const SweepPoint& p) {
   // round-trips exactly: (u / n) * n == u.
   const auto undecided = static_cast<pp::Count>(std::llround(
       spec.undecided_fraction * static_cast<double>(p.n)));
+  if (p.start.kind == StartProfile::Kind::kGeometric) {
+    // Validated upfront: geometric starts only combine with kNone.
+    return pp::Configuration::geometric(p.n, p.k, undecided, p.start.ratio);
+  }
   switch (spec.bias_kind) {
     case BiasKind::kNone:
       return pp::Configuration::uniform(p.n, p.k, undecided);
@@ -95,7 +127,8 @@ TrialOutcome run_one(const SweepSpec& spec, const SweepPoint& point,
                   : point.engine == SweepEngine::kSkipUnproductive
                       ? core::StepMode::kSkipUnproductive
                       : core::StepMode::kBatchedRounds;
-      opts.batch_chunk_fraction = spec.batch_chunk_fraction;
+      opts.batch.chunk_fraction = spec.batch_chunk_fraction;
+      opts.batch.policy = spec.batch_policy;
       const auto r = core::run_usd(x0, seed, opts);
       out.parallel_time = r.parallel_time;
       out.converged = r.converged;
@@ -123,16 +156,41 @@ TrialOutcome run_one(const SweepSpec& spec, const SweepPoint& point,
   KUSD_CHECK_MSG(false, "unreachable sweep engine");
 }
 
+SweepCell aggregate_cell(const SweepSpec& spec, const SweepPoint& point,
+                         const std::vector<TrialOutcome>& outcomes,
+                         double wall_seconds) {
+  SweepCell cell;
+  cell.point = point;
+  cell.bias_kind = spec.bias_kind;
+  cell.trials = spec.trials;
+  cell.parallel_time.reserve(outcomes.size());
+  int converged = 0, won = 0;
+  for (const auto& o : outcomes) {
+    cell.parallel_time.add(o.parallel_time);
+    converged += o.converged ? 1 : 0;
+    won += o.plurality_won ? 1 : 0;
+  }
+  const double denom = outcomes.empty() ? 1.0 : static_cast<double>(
+                                                    outcomes.size());
+  cell.converged_rate = static_cast<double>(converged) / denom;
+  cell.plurality_win_rate = static_cast<double>(won) / denom;
+  cell.wall_seconds = wall_seconds;
+  return cell;
+}
+
 }  // namespace
 
 Sweep::Sweep(SweepSpec spec) : spec_(std::move(spec)) {
   KUSD_CHECK_MSG(spec_.trials >= 0, "sweep: negative trial count");
   KUSD_CHECK_MSG(!spec_.ns.empty() && !spec_.ks.empty() &&
-                     !spec_.bias_values.empty() && !spec_.engines.empty(),
+                     !spec_.starts.empty() && !spec_.bias_values.empty() &&
+                     !spec_.engines.empty(),
                  "sweep: every axis needs at least one value");
   KUSD_CHECK_MSG(
       spec_.undecided_fraction >= 0.0 && spec_.undecided_fraction < 1.0,
       "sweep: undecided fraction must be in [0, 1)");
+  KUSD_CHECK_MSG(!spec_.shuffle_points || spec_.point_parallelism,
+                 "sweep: shuffle_points requires point_parallelism");
   // Fail the whole sweep upfront rather than aborting mid-grid after other
   // points already streamed.
   for (const auto engine : spec_.engines) {
@@ -153,6 +211,15 @@ Sweep::Sweep(SweepSpec spec) : spec_(std::move(spec)) {
                         spec_.batch_chunk_fraction <= 1.0),
                    "sweep: batched chunk fraction must be in (0, 1]");
   }
+  for (const auto& start : spec_.starts) {
+    if (start.kind == StartProfile::Kind::kGeometric) {
+      KUSD_CHECK_MSG(start.ratio > 0.0 && start.ratio <= 1.0,
+                     "sweep: geometric start ratio must be in (0, 1]");
+      KUSD_CHECK_MSG(spec_.bias_kind == BiasKind::kNone,
+                     "sweep: geometric starts define their own support "
+                     "shape and exclude a bias axis");
+    }
+  }
   for (const double bias : spec_.bias_values) {
     switch (spec_.bias_kind) {
       case BiasKind::kNone:
@@ -171,8 +238,8 @@ Sweep::Sweep(SweepSpec spec) : spec_(std::move(spec)) {
     }
   }
   // Construct every grid point's initial configuration once now, so any
-  // infeasible (n, k, bias) combination (e.g. beta exceeding the decided
-  // agents of the smallest n) fails here instead of mid-grid.
+  // infeasible (n, k, start, bias) combination (e.g. beta exceeding the
+  // decided agents of the smallest n) fails here instead of mid-grid.
   for (const auto& point : grid()) {
     const auto config = build_config(spec_, point);
     // Configuration itself allows decided == 0, but no engine converges
@@ -191,15 +258,18 @@ std::vector<SweepPoint> Sweep::grid() const {
       spec_.bias_kind == BiasKind::kNone ? 1 : spec_.bias_values.size();
   std::vector<SweepPoint> points;
   points.reserve(spec_.engines.size() * spec_.ns.size() * spec_.ks.size() *
-                 bias_points);
+                 spec_.starts.size() * bias_points);
   std::size_t index = 0;
   for (const auto engine : spec_.engines) {
     for (const auto n : spec_.ns) {
       for (const auto k : spec_.ks) {
-        for (std::size_t b = 0; b < bias_points; ++b) {
-          const double bias =
-              spec_.bias_kind == BiasKind::kNone ? 0.0 : spec_.bias_values[b];
-          points.push_back(SweepPoint{engine, n, k, bias, index++});
+        for (const auto& start : spec_.starts) {
+          for (std::size_t b = 0; b < bias_points; ++b) {
+            const double bias = spec_.bias_kind == BiasKind::kNone
+                                    ? 0.0
+                                    : spec_.bias_values[b];
+            points.push_back(SweepPoint{engine, n, k, start, bias, index++});
+          }
         }
       }
     }
@@ -217,46 +287,90 @@ SweepCell Sweep::run_point(util::ThreadPool& pool,
   const auto x0 = build_config(spec_, point);
   util::Stopwatch watch;
   const std::uint64_t point_seed =
-      rng::derive_stream(spec_.master_seed, point.index);
+      rng::stream_seed(spec_.master_seed, point.index);
   const auto outcomes = run_trials<TrialOutcome>(
       pool, spec_.trials, point_seed,
       [this, &point, &x0](std::uint64_t seed) {
         return run_one(spec_, point, x0, seed);
       });
-
-  SweepCell cell;
-  cell.point = point;
-  cell.bias_kind = spec_.bias_kind;
-  cell.trials = spec_.trials;
-  cell.parallel_time.reserve(outcomes.size());
-  int converged = 0, won = 0;
-  for (const auto& o : outcomes) {
-    cell.parallel_time.add(o.parallel_time);
-    converged += o.converged ? 1 : 0;
-    won += o.plurality_won ? 1 : 0;
-  }
-  const double denom = outcomes.empty() ? 1.0 : static_cast<double>(
-                                                    outcomes.size());
-  cell.converged_rate = static_cast<double>(converged) / denom;
-  cell.plurality_win_rate = static_cast<double>(won) / denom;
-  cell.wall_seconds = watch.seconds();
-  return cell;
+  return aggregate_cell(spec_, point, outcomes, watch.seconds());
 }
 
 void Sweep::run(const std::function<void(const SweepCell&)>& on_cell) const {
   // One pool for the whole grid: workers are not respawned per point.
   util::ThreadPool pool(spec_.threads);
-  for (const auto& point : grid()) on_cell(run_point(pool, point));
+  if (!spec_.point_parallelism) {
+    for (const auto& point : grid()) on_cell(run_point(pool, point));
+    return;
+  }
+
+  // Point-parallel mode: one pool task per grid point, trials run inline
+  // with the exact per-trial seeds run_trials would derive. Completed
+  // cells are buffered and the contiguous done prefix is emitted under
+  // the mutex (so the callback never runs concurrently with itself):
+  // output order and content match the sequential path byte for byte.
+  const auto points = grid();
+  std::vector<std::size_t> order(points.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (spec_.shuffle_points) {
+    // The execution order is itself a seeded derivation (the all-ones
+    // stream id cannot collide with a grid index), so shuffled sweeps are
+    // as reproducible as ordered ones.
+    rng::Rng shuffle_rng(
+        rng::stream_seed(spec_.master_seed, ~std::uint64_t{0}));
+    shuffle_rng.shuffle(std::span<std::size_t>(order));
+  }
+
+  std::mutex mu;
+  std::vector<std::optional<SweepCell>> done(points.size());
+  std::size_t next_emit = 0;
+  for (const std::size_t point_index : order) {
+    pool.submit([this, &points, &mu, &done, &next_emit, &on_cell,
+                 point_index] {
+      const SweepPoint& point = points[point_index];
+      const auto x0 = build_config(spec_, point);
+      util::Stopwatch watch;
+      const std::uint64_t point_seed =
+          rng::stream_seed(spec_.master_seed, point.index);
+      std::vector<TrialOutcome> outcomes(
+          static_cast<std::size_t>(spec_.trials));
+      for (int t = 0; t < spec_.trials; ++t) {
+        outcomes[static_cast<std::size_t>(t)] = run_one(
+            spec_, point, x0,
+            rng::stream_seed(point_seed, static_cast<std::uint64_t>(t)));
+      }
+      auto cell = aggregate_cell(spec_, point, outcomes, watch.seconds());
+
+      const std::lock_guard<std::mutex> lock(mu);
+      done[point_index] = std::move(cell);
+      while (next_emit < done.size() && done[next_emit].has_value()) {
+        // Consume the slot before invoking the callback: if on_cell
+        // throws (the exception resurfaces from wait_idle), later tasks
+        // must not re-emit the same cell.
+        const SweepCell next = *std::move(done[next_emit]);
+        done[next_emit].reset();
+        ++next_emit;
+        on_cell(next);
+      }
+    });
+  }
+  pool.wait_idle();
 }
 
 std::vector<std::string> Sweep::csv_header() {
-  return {"engine",         "n",
-          "k",              "bias_kind",
-          "bias",           "trials",
-          "converged_rate", "plurality_win_rate",
-          "pt_mean",        "pt_stddev",
-          "pt_median",      "pt_p95",
-          "wall_seconds"};
+  return {"engine",
+          "n",
+          "k",
+          "start",
+          "bias_kind",
+          "bias",
+          "trials",
+          "converged_rate",
+          "plurality_win_rate",
+          "pt_mean",
+          "pt_stddev",
+          "pt_median",
+          "pt_p95"};
 }
 
 std::vector<std::string> Sweep::csv_row(const SweepCell& cell) {
@@ -264,6 +378,7 @@ std::vector<std::string> Sweep::csv_row(const SweepCell& cell) {
   return {to_string(cell.point.engine),
           std::to_string(cell.point.n),
           std::to_string(cell.point.k),
+          to_string(cell.point.start),
           to_string(cell.bias_kind),
           fmt(cell.point.bias, 6),
           std::to_string(cell.trials),
@@ -272,8 +387,7 @@ std::vector<std::string> Sweep::csv_row(const SweepCell& cell) {
           fmt(pt.empty() ? 0.0 : pt.mean(), 4),
           fmt(pt.empty() ? 0.0 : pt.stddev(), 4),
           fmt(pt.empty() ? 0.0 : pt.median(), 4),
-          fmt(pt.empty() ? 0.0 : pt.quantile(0.95), 4),
-          fmt(cell.wall_seconds, 4)};
+          fmt(pt.empty() ? 0.0 : pt.quantile(0.95), 4)};
 }
 
 std::string Sweep::json_line(const SweepCell& cell) {
@@ -284,8 +398,10 @@ std::string Sweep::json_line(const SweepCell& cell) {
   for (std::size_t i = 0; i < header.size(); ++i) {
     if (i > 0) os << ',';
     os << '"' << header[i] << "\":";
-    // engine and bias_kind are enum spellings, everything else numeric.
-    if (header[i] == "engine" || header[i] == "bias_kind") {
+    // engine, start and bias_kind are enum spellings, everything else
+    // numeric.
+    if (header[i] == "engine" || header[i] == "start" ||
+        header[i] == "bias_kind") {
       os << '"' << row[i] << '"';
     } else {
       os << row[i];

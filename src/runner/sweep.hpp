@@ -1,13 +1,26 @@
-// Grid sweeps over (engine, n, k, bias): the experiment driver behind
-// `kusd sweep`.
+// Grid sweeps over (engine, n, k, start, bias): the experiment driver
+// behind `kusd sweep`.
 //
 // A Sweep expands a SweepSpec into the cartesian grid of its axes and runs
-// every grid point as a parallel Monte-Carlo batch (run_trials). Results
-// stream: the per-point aggregate is handed to a callback as soon as the
-// point completes, so CSV/JSONL output appears incrementally during long
-// sweeps instead of after them. All randomness is derived from
-// (master_seed, point index, trial index), making sweeps bit-reproducible
-// regardless of thread count.
+// every grid point as a Monte-Carlo batch. Two execution modes share one
+// deterministic seed derivation (master_seed, point index, trial index):
+//
+//  * trial-parallel (default) — points run sequentially in grid order,
+//    the trials within a point striped over the worker pool. Right for
+//    grids of few expensive points.
+//  * point-parallel (SweepSpec::point_parallelism) — grid points
+//    themselves are striped over the pool, each point's trials running
+//    inline. Right for grids of many small points, where per-point
+//    striping cannot keep the pool busy. Completed cells are buffered and
+//    emitted in grid order, so output (CSV/JSONL) is byte-identical to a
+//    sequential run at any thread count; shuffle_points additionally
+//    randomizes the *execution* order (deterministically from
+//    master_seed) for early coverage of the grid, without affecting
+//    output order or content.
+//
+// Results stream either way: the per-point aggregate is handed to a
+// callback as soon as it is next in grid order, so output appears
+// incrementally during long sweeps instead of after them.
 //
 // The comparable metric across engines is *parallel time*: interactions/n
 // for the asynchronous engines (every/skip/batched) and rounds for the
@@ -38,14 +51,36 @@ enum class SweepEngine {
 
 enum class BiasKind { kNone, kAdditive, kMultiplicative };
 
+/// Initial-support profile axis: how the decided agents are distributed
+/// over the k opinions before any bias is applied.
+struct StartProfile {
+  enum class Kind {
+    kUniform,    ///< split as evenly as possible (the PR-2 behaviour)
+    kGeometric,  ///< Configuration::geometric with the given ratio
+  };
+  Kind kind = Kind::kUniform;
+  /// Ratio of the geometric profile, in (0, 1]; ignored for kUniform.
+  double ratio = 1.0;
+
+  bool operator==(const StartProfile&) const = default;
+};
+
 [[nodiscard]] const char* to_string(SweepEngine engine);
 [[nodiscard]] const char* to_string(BiasKind kind);
+/// CLI spelling of a start profile: "uniform" or "geometric:<ratio>".
+[[nodiscard]] std::string to_string(const StartProfile& start);
 /// Parse the CLI spelling ("every", "skip", "batched", "sync", "gossip").
 [[nodiscard]] std::optional<SweepEngine> parse_engine(const std::string& name);
+/// Parse "uniform" or "geometric:<ratio>" (ratio required, in (0, 1]).
+[[nodiscard]] std::optional<StartProfile> parse_start_profile(
+    const std::string& name);
 
 struct SweepSpec {
   std::vector<pp::Count> ns = {100000};
   std::vector<int> ks = {8};
+  /// Start-profile axis (geometric profiles require BiasKind::kNone: the
+  /// bias factories build their own support shapes).
+  std::vector<StartProfile> starts = {StartProfile{}};
   BiasKind bias_kind = BiasKind::kNone;
   /// beta for kAdditive, alpha for kMultiplicative; ignored (single
   /// implicit point) for kNone.
@@ -55,16 +90,25 @@ struct SweepSpec {
   double undecided_fraction = 0.0;
   int trials = 25;
   std::uint64_t master_seed = 1;
-  /// Worker threads per grid point (0 = hardware concurrency).
+  /// Worker threads (0 = hardware concurrency).
   std::size_t threads = 0;
-  /// Chunk fraction for kBatchedRounds.
+  /// Chunk fraction for kBatchedRounds (ChunkPolicy::kFixed).
   double batch_chunk_fraction = core::BatchedOptions{}.chunk_fraction;
+  /// Chunk policy for kBatchedRounds.
+  core::ChunkPolicy batch_policy = core::ChunkPolicy::kFixed;
+  /// Stripe grid points (instead of trials within a point) over the pool;
+  /// see the file comment. Output is identical either way.
+  bool point_parallelism = false;
+  /// Execute points in a deterministically shuffled order (early grid
+  /// coverage). Requires point_parallelism; output order is unaffected.
+  bool shuffle_points = false;
 };
 
 struct SweepPoint {
   SweepEngine engine;
   pp::Count n;
   int k;
+  StartProfile start;
   double bias;
   /// Position in grid order; seeds the point's trial batch.
   std::size_t index;
@@ -79,6 +123,9 @@ struct SweepCell {
   double plurality_win_rate;
   /// Per-trial parallel time (see file comment for the per-engine unit).
   stats::Samples parallel_time;
+  /// Wall-clock cost of this point. Progress information only — it is
+  /// deliberately not part of the CSV/JSONL schema, which stays
+  /// byte-deterministic for a given (spec, master_seed).
   double wall_seconds;
 };
 
@@ -88,7 +135,7 @@ class Sweep {
 
   [[nodiscard]] const SweepSpec& spec() const { return spec_; }
 
-  /// The grid in execution order: engine-major, then n, k, bias.
+  /// The grid in output order: engine-major, then n, k, start, bias.
   [[nodiscard]] std::vector<SweepPoint> grid() const;
 
   /// Run one grid point (trials in parallel) and aggregate it. The second
@@ -97,7 +144,9 @@ class Sweep {
   [[nodiscard]] SweepCell run_point(util::ThreadPool& pool,
                                     const SweepPoint& point) const;
 
-  /// Run the whole grid in order, streaming each completed cell.
+  /// Run the whole grid, streaming each cell in grid order (cells are
+  /// buffered as needed under point_parallelism; see the file comment).
+  /// The callback is never invoked concurrently with itself.
   void run(const std::function<void(const SweepCell&)>& on_cell) const;
 
   /// Output schema shared by the CSV and JSONL emitters.

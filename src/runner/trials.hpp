@@ -39,7 +39,7 @@ std::vector<T> run_trials(util::ThreadPool& pool, int trials,
     pool.submit([&results, &fn, master_seed, s, stripes, trials] {
       for (int i = s; i < trials; i += stripes) {
         results[static_cast<std::size_t>(i)] =
-            fn(rng::derive_stream(master_seed, static_cast<std::uint64_t>(i)));
+            fn(rng::stream_seed(master_seed, static_cast<std::uint64_t>(i)));
       }
     });
   }

@@ -97,10 +97,10 @@ TEST(BatchedUsd, RejectsAllUndecidedAndBadChunk) {
   EXPECT_THROW(BatchedUsdSimulator(Configuration({0, 0}, 10), rng::Rng(10)),
                util::CheckError);
   EXPECT_THROW(BatchedUsdSimulator(Configuration::uniform(100, 2, 0),
-                                   rng::Rng(11), BatchedOptions{0.0}),
+                                   rng::Rng(11), BatchedOptions{.chunk_fraction = 0.0}),
                util::CheckError);
   EXPECT_THROW(BatchedUsdSimulator(Configuration::uniform(100, 2, 0),
-                                   rng::Rng(11), BatchedOptions{1.5}),
+                                   rng::Rng(11), BatchedOptions{.chunk_fraction = 1.5}),
                util::CheckError);
 }
 
@@ -129,7 +129,7 @@ TEST(BatchedUsd, TinyPopulationsTerminate) {
   // the exact m = 1 case, which always converges.
   for (std::uint64_t seed = 0; seed < 50; ++seed) {
     BatchedUsdSimulator sim(Configuration({1, 1}, 0), rng::Rng(seed),
-                            BatchedOptions{1.0});
+                            BatchedOptions{.chunk_fraction = 1.0});
     ASSERT_TRUE(sim.run_to_consensus(~std::uint64_t{0}));
     EXPECT_EQ(sim.undecided(), 0u);
   }
@@ -146,6 +146,42 @@ TEST(BatchedUsd, RunObservedVisitsBoundariesInOrder) {
   for (std::size_t i = 1; i + 1 < times.size(); ++i) {
     ASSERT_GT(times[i], times[i - 1]);
   }
+}
+
+TEST(BatchedUsd, RunObservedFiresExactlyAtIntervalMultiples) {
+  // Regression: the observer used to fire at the first chunk boundary
+  // *past* each interval multiple (a chunk of 2% of n could overshoot the
+  // boundary by the whole chunk). Chunks are now clamped so every multiple
+  // is hit exactly, under both chunk policies.
+  for (const auto policy :
+       {core::ChunkPolicy::kFixed, core::ChunkPolicy::kAdaptive}) {
+    BatchedOptions options;
+    options.policy = policy;
+    BatchedUsdSimulator sim(Configuration::uniform(20000, 3, 0),
+                            rng::Rng(15), options);
+    const std::uint64_t interval = 1500;
+    std::vector<std::uint64_t> times;
+    sim.run_observed(10'000'000, interval,
+                     [&times](std::uint64_t t, std::span<const pp::Count>,
+                              pp::Count) { times.push_back(t); });
+    ASSERT_GE(times.size(), 4u);
+    EXPECT_EQ(times.front(), 0u);
+    // Every observation but the last is an exact multiple, consecutive
+    // (no multiple skipped), and the final call reports the end state.
+    for (std::size_t i = 1; i + 1 < times.size(); ++i) {
+      EXPECT_EQ(times[i], i * interval) << "policy "
+                                        << core::to_string(policy);
+    }
+    EXPECT_EQ(times.back(), sim.interactions());
+  }
+}
+
+TEST(BatchedUsd, RunObservedNeverOvershootsTheCap) {
+  BatchedUsdSimulator sim(Configuration::uniform(100000, 8, 0), rng::Rng(16));
+  const std::uint64_t cap = 12345;
+  sim.run_observed(cap, 1000,
+                   [](std::uint64_t, std::span<const pp::Count>, pp::Count) {});
+  EXPECT_LE(sim.interactions(), cap);
 }
 
 TEST(BatchedUsd, RunUsdDispatchesBatchedMode) {
@@ -166,7 +202,7 @@ std::vector<double> exact_times(const Configuration& x0, int trials,
   out.reserve(static_cast<std::size_t>(trials));
   for (int t = 0; t < trials; ++t) {
     UsdSimulator sim(
-        x0, rng::Rng(rng::derive_stream(seed_base,
+        x0, rng::Rng(rng::stream_seed(seed_base,
                                         static_cast<std::uint64_t>(t))),
         UsdOptions{StepMode::kEveryInteraction});
     EXPECT_TRUE(sim.run_to_consensus(100'000'000));
@@ -182,9 +218,9 @@ std::vector<double> batched_times(const Configuration& x0, int trials,
   out.reserve(static_cast<std::size_t>(trials));
   for (int t = 0; t < trials; ++t) {
     BatchedUsdSimulator sim(
-        x0, rng::Rng(rng::derive_stream(seed_base,
+        x0, rng::Rng(rng::stream_seed(seed_base,
                                         static_cast<std::uint64_t>(t))),
-        BatchedOptions{chunk_fraction});
+        BatchedOptions{.chunk_fraction = chunk_fraction});
     EXPECT_TRUE(sim.run_to_consensus(100'000'000));
     out.push_back(static_cast<double>(sim.interactions()));
   }
@@ -219,11 +255,11 @@ TEST(BatchedUsd, WinnerFrequenciesMatchExactChain) {
   const int trials = 1500;
   int wins_exact = 0, wins_batched = 0;
   for (int t = 0; t < trials; ++t) {
-    UsdSimulator a(x0, rng::Rng(rng::derive_stream(2300, t)),
+    UsdSimulator a(x0, rng::Rng(rng::stream_seed(2300, t)),
                    UsdOptions{StepMode::kSkipUnproductive});
     ASSERT_TRUE(a.run_to_consensus(100'000'000));
     wins_exact += a.consensus_opinion() == 0 ? 1 : 0;
-    BatchedUsdSimulator b(x0, rng::Rng(rng::derive_stream(2301, t)));
+    BatchedUsdSimulator b(x0, rng::Rng(rng::stream_seed(2301, t)));
     ASSERT_TRUE(b.run_to_consensus(100'000'000));
     wins_batched += b.consensus_opinion() == 0 ? 1 : 0;
   }

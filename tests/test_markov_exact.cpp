@@ -81,7 +81,7 @@ TEST_P(ExactVsMonteCarlo, ExpectedTimeAndWinProbMatch) {
   int wins = 0;
   for (int t = 0; t < trials; ++t) {
     core::UsdSimulator sim(
-        start, rng::Rng(rng::derive_stream(4242, t)),
+        start, rng::Rng(rng::stream_seed(4242, t)),
         core::UsdOptions{core::StepMode::kSkipUnproductive});
     ASSERT_TRUE(sim.run_to_consensus(100'000'000));
     times.add(static_cast<double>(sim.interactions()));

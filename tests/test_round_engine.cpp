@@ -189,10 +189,10 @@ TEST(RoundEngine, SyncUsdMatchesPerAgentReferenceInDistribution) {
   std::vector<double> batched, reference;
   for (int t = 0; t < trials; ++t) {
     core::SyncUsd sim(Configuration::uniform(n, k, 0),
-                      rng::Rng(rng::derive_stream(4100, t)));
+                      rng::Rng(rng::stream_seed(4100, t)));
     EXPECT_TRUE(sim.run_to_consensus(10'000));
     batched.push_back(static_cast<double>(sim.super_rounds()));
-    rng::Rng rng(rng::derive_stream(4200, t));
+    rng::Rng rng(rng::stream_seed(4200, t));
     reference.push_back(static_cast<double>(
         per_agent_sync_super_rounds(n, k, rng, 10'000)));
   }
@@ -236,10 +236,10 @@ TEST(RoundEngine, GossipUsdMatchesPerAgentReferenceInDistribution) {
   std::vector<double> batched, reference;
   for (int t = 0; t < trials; ++t) {
     gossip::GossipUsd sim(Configuration::uniform(n, k, 0),
-                          rng::Rng(rng::derive_stream(4300, t)));
+                          rng::Rng(rng::stream_seed(4300, t)));
     EXPECT_TRUE(sim.run_to_consensus(100'000));
     batched.push_back(static_cast<double>(sim.rounds()));
-    rng::Rng rng(rng::derive_stream(4400, t));
+    rng::Rng rng(rng::stream_seed(4400, t));
     reference.push_back(
         static_cast<double>(per_agent_gossip_rounds(n, k, rng, 100'000)));
   }

@@ -133,14 +133,14 @@ TEST(Trials, BitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(single, parallel);  // bit-identical, not just approximately
 }
 
-TEST(Rng, DeriveStreamCollisionSmokeOverMillionIds) {
-  // One master seed, 1M trial ids: the derived 64-bit stream seeds must be
-  // collision-free (expected collisions ~ 2.7e-8).
+TEST(Rng, StreamSeedCollisionSmokeOverMillionIds) {
+  // One master seed, 1M trial ids: the Philox-derived 64-bit stream seeds
+  // must be collision-free (the fold's birthday bound: ~2.7e-8 expected).
   constexpr std::uint64_t kIds = 1'000'000;
   std::unordered_set<std::uint64_t> seen;
   seen.reserve(kIds * 2);
   for (std::uint64_t id = 0; id < kIds; ++id) {
-    seen.insert(rng::derive_stream(0xFEEDFACE, id));
+    seen.insert(rng::stream_seed(0xFEEDFACE, id));
   }
   EXPECT_EQ(seen.size(), kIds);
 }

@@ -106,7 +106,7 @@ TEST(Schedulers, CountAndAgentEnginesAgreeInDistribution) {
   std::vector<double> count_times, agent_times;
   for (int t = 0; t < trials; ++t) {
     {
-      pp::CountScheduler s(usd, init, rng::Rng(rng::derive_stream(100, t)));
+      pp::CountScheduler s(usd, init, rng::Rng(rng::stream_seed(100, t)));
       s.run_until(
           [](std::span<const std::uint64_t> c) {
             return c[0] == 100 || c[1] == 100;
@@ -115,7 +115,7 @@ TEST(Schedulers, CountAndAgentEnginesAgreeInDistribution) {
       count_times.push_back(static_cast<double>(s.steps()));
     }
     {
-      pp::AgentScheduler s(usd, init, rng::Rng(rng::derive_stream(200, t)));
+      pp::AgentScheduler s(usd, init, rng::Rng(rng::stream_seed(200, t)));
       s.run_until(
           [](std::span<const std::uint64_t> c) {
             return c[0] == 100 || c[1] == 100;

@@ -123,6 +123,93 @@ TEST(Sweep, JsonLineQuotesOnlyEnumFields) {
   EXPECT_EQ(json.find("\"n\":\"300\""), std::string::npos);
 }
 
+TEST(Sweep, PointParallelOutputIsByteIdenticalToSequential) {
+  // The acceptance bar for point-parallel mode: the streamed CSV (and so
+  // the JSONL) must match the sequential run byte for byte, at any thread
+  // count, with and without shuffled execution order.
+  auto spec = tiny_spec();
+  spec.threads = 1;
+  const auto render = [](const Sweep& sweep) {
+    std::string out;
+    for (const auto& col : Sweep::csv_header()) out += col + ",";
+    out += "\n";
+    sweep.run([&out](const SweepCell& cell) {
+      for (const auto& field : Sweep::csv_row(cell)) out += field + ",";
+      out += "\n";
+    });
+    return out;
+  };
+  const std::string sequential = render(Sweep(spec));
+  for (const std::size_t threads : {1u, 3u, 8u}) {
+    spec.threads = threads;
+    spec.point_parallelism = true;
+    spec.shuffle_points = false;
+    EXPECT_EQ(render(Sweep(spec)), sequential) << threads << " threads";
+    spec.shuffle_points = true;
+    EXPECT_EQ(render(Sweep(spec)), sequential)
+        << threads << " threads, shuffled";
+  }
+}
+
+TEST(Sweep, GeometricStartAxisExpandsTheGrid) {
+  auto spec = tiny_spec();
+  spec.starts = {runner::StartProfile{},
+                 runner::StartProfile{runner::StartProfile::Kind::kGeometric,
+                                      0.5}};
+  const Sweep sweep(spec);
+  const auto grid = sweep.grid();
+  ASSERT_EQ(grid.size(), 16u);  // 2 engines x 2 ns x 2 ks x 2 starts
+  EXPECT_EQ(grid[0].start.kind, runner::StartProfile::Kind::kUniform);
+  EXPECT_EQ(grid[1].start.kind, runner::StartProfile::Kind::kGeometric);
+  EXPECT_DOUBLE_EQ(grid[1].start.ratio, 0.5);
+
+  // Geometric points run and report their start profile in the schema.
+  std::vector<SweepCell> cells;
+  Sweep(spec).run([&cells](const SweepCell& cell) { cells.push_back(cell); });
+  ASSERT_EQ(cells.size(), 16u);
+  const auto row = Sweep::csv_row(cells[1]);
+  EXPECT_EQ(row[3], "geometric:0.5");
+  const auto json = Sweep::json_line(cells[1]);
+  EXPECT_NE(json.find("\"start\":\"geometric:0.5\""), std::string::npos);
+}
+
+TEST(Sweep, StartProfileNamesRoundTrip) {
+  const auto uniform = runner::parse_start_profile("uniform");
+  ASSERT_TRUE(uniform.has_value());
+  EXPECT_EQ(uniform->kind, runner::StartProfile::Kind::kUniform);
+  EXPECT_EQ(runner::to_string(*uniform), "uniform");
+  const auto geometric = runner::parse_start_profile("geometric:0.25");
+  ASSERT_TRUE(geometric.has_value());
+  EXPECT_EQ(geometric->kind, runner::StartProfile::Kind::kGeometric);
+  EXPECT_DOUBLE_EQ(geometric->ratio, 0.25);
+  EXPECT_EQ(runner::parse_start_profile(runner::to_string(*geometric)),
+            geometric);
+  // Shortest round-trip formatting: the recorded spelling must parse back
+  // to exactly the ratio that ran, even for awkward ratios.
+  const runner::StartProfile gnarly{runner::StartProfile::Kind::kGeometric,
+                                    0.1234567891234567};
+  const auto reparsed = runner::parse_start_profile(runner::to_string(gnarly));
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->ratio, gnarly.ratio);
+  EXPECT_FALSE(runner::parse_start_profile("geometric:").has_value());
+  EXPECT_FALSE(runner::parse_start_profile("geometric:0").has_value());
+  EXPECT_FALSE(runner::parse_start_profile("geometric:1.5").has_value());
+  EXPECT_FALSE(runner::parse_start_profile("triangular").has_value());
+}
+
+TEST(Sweep, BatchedChunkPolicyIsSweepable) {
+  SweepSpec spec;
+  spec.ns = {2000};
+  spec.ks = {3};
+  spec.engines = {SweepEngine::kBatchedRounds};
+  spec.trials = 3;
+  spec.batch_policy = core::ChunkPolicy::kAdaptive;
+  std::vector<SweepCell> cells;
+  Sweep(spec).run([&cells](const SweepCell& cell) { cells.push_back(cell); });
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_DOUBLE_EQ(cells[0].converged_rate, 1.0);
+}
+
 TEST(Sweep, EngineNamesRoundTrip) {
   for (const auto engine :
        {SweepEngine::kEveryInteraction, SweepEngine::kSkipUnproductive,
@@ -168,6 +255,28 @@ TEST(Sweep, RejectsInvalidSpecs) {
   EXPECT_NO_THROW(Sweep{spec});
   spec.bias_kind = BiasKind::kMultiplicative;
   spec.bias_values = {1.0};
+  EXPECT_THROW(Sweep{spec}, util::CheckError);
+  // Shuffled execution is a point-parallel feature.
+  spec = tiny_spec();
+  spec.shuffle_points = true;
+  EXPECT_THROW(Sweep{spec}, util::CheckError);
+  spec.point_parallelism = true;
+  EXPECT_NO_THROW(Sweep{spec});
+  // Geometric starts define their own support shape: no bias axis, and
+  // the ratio must be a valid geometric ratio.
+  spec = tiny_spec();
+  spec.starts = {runner::StartProfile{
+      runner::StartProfile::Kind::kGeometric, 0.5}};
+  spec.bias_kind = BiasKind::kAdditive;
+  spec.bias_values = {10.0};
+  EXPECT_THROW(Sweep{spec}, util::CheckError);
+  spec.bias_kind = BiasKind::kNone;
+  EXPECT_NO_THROW(Sweep{spec});
+  spec.starts = {runner::StartProfile{
+      runner::StartProfile::Kind::kGeometric, 0.0}};
+  EXPECT_THROW(Sweep{spec}, util::CheckError);
+  spec = tiny_spec();
+  spec.starts.clear();
   EXPECT_THROW(Sweep{spec}, util::CheckError);
 }
 

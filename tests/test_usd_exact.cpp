@@ -96,7 +96,7 @@ TEST(UsdExactSolver, ThreeOpinionMonteCarloAgreement) {
   double time_total = 0.0;
   int wins0 = 0;
   for (int t = 0; t < trials; ++t) {
-    core::UsdSimulator sim(x0, rng::Rng(rng::derive_stream(31337, t)));
+    core::UsdSimulator sim(x0, rng::Rng(rng::stream_seed(31337, t)));
     ASSERT_TRUE(sim.run_to_consensus(10'000'000));
     time_total += static_cast<double>(sim.interactions());
     wins0 += sim.consensus_opinion() == 0 ? 1 : 0;

@@ -142,7 +142,7 @@ std::vector<double> consensus_times(const Configuration& x0, StepMode mode,
   out.reserve(static_cast<std::size_t>(trials));
   for (int t = 0; t < trials; ++t) {
     UsdSimulator sim(
-        x0, rng::Rng(rng::derive_stream(seed_base,
+        x0, rng::Rng(rng::stream_seed(seed_base,
                                         static_cast<std::uint64_t>(t))),
         UsdOptions{mode});
     EXPECT_TRUE(sim.run_to_consensus(50'000'000));
@@ -187,11 +187,11 @@ TEST(UsdSimulator, SkipAndPlainWinnerFrequenciesAgree) {
   const int trials = 2000;
   int wins_plain = 0, wins_skip = 0;
   for (int t = 0; t < trials; ++t) {
-    UsdSimulator a(x0, rng::Rng(rng::derive_stream(77, t)),
+    UsdSimulator a(x0, rng::Rng(rng::stream_seed(77, t)),
                    UsdOptions{StepMode::kEveryInteraction});
     a.run_to_consensus(10'000'000);
     wins_plain += a.consensus_opinion() == 0 ? 1 : 0;
-    UsdSimulator b(x0, rng::Rng(rng::derive_stream(78, t)),
+    UsdSimulator b(x0, rng::Rng(rng::stream_seed(78, t)),
                    UsdOptions{StepMode::kSkipUnproductive});
     b.run_to_consensus(10'000'000);
     wins_skip += b.consensus_opinion() == 0 ? 1 : 0;
@@ -210,12 +210,12 @@ TEST(UsdSimulator, UrnEnginesAgreeInDistribution) {
   const int trials = 350;
   std::vector<double> lin, fen;
   for (int t = 0; t < trials; ++t) {
-    UsdSimulator a(x0, rng::Rng(rng::derive_stream(500, t)),
+    UsdSimulator a(x0, rng::Rng(rng::stream_seed(500, t)),
                    UsdOptions{StepMode::kEveryInteraction,
                               urn::UrnEngine::kLinear});
     a.run_to_consensus(50'000'000);
     lin.push_back(static_cast<double>(a.interactions()));
-    UsdSimulator b(x0, rng::Rng(rng::derive_stream(501, t)),
+    UsdSimulator b(x0, rng::Rng(rng::stream_seed(501, t)),
                    UsdOptions{StepMode::kEveryInteraction,
                               urn::UrnEngine::kFenwick});
     b.run_to_consensus(50'000'000);

@@ -47,8 +47,11 @@ using namespace kusd;
       "  bias:    --bias none|additive|multiplicative [--beta B | --alpha A]\n"
       "  sweep:   grid axes take comma lists (scientific notation ok):\n"
       "           --n N1,N2,... --k K1,... --engine every|skip|batched|sync|gossip[,...]\n"
+      "           --start uniform|geometric:<ratio>[,...]\n"
       "           [--beta B1,... | --alpha A1,...] --trials T --ufrac F\n"
-      "           --threads W --chunk F --out FILE.csv --json FILE.jsonl\n"
+      "           --threads W --chunk F --chunk-policy fixed|adaptive\n"
+      "           --point-parallel 0|1 --shuffle-points 0|1\n"
+      "           --out FILE.csv --json FILE.jsonl\n"
       "  trace:   --out FILE.csv\n"
       "  exact:   --support x1,x2,...  (n <= ~20, small k)\n");
   std::exit(exit_code);
@@ -100,6 +103,16 @@ struct Args {
                                        const std::string& fallback) const {
     const auto it = options.find(key);
     return it == options.end() ? fallback : it->second;
+  }
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const {
+    const auto it = options.find(key);
+    if (it == options.end()) return fallback;
+    const std::string& v = it->second;
+    if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+    std::fprintf(stderr, "cannot parse boolean '%s' for --%s\n", v.c_str(),
+                 key.c_str());
+    usage();
   }
 };
 
@@ -218,6 +231,7 @@ int cmd_sweep(const Args& args) {
     static const std::set<std::string> known = {
         "n",      "k",     "engine", "bias",    "beta", "alpha",
         "undecided", "ufrac", "trials", "seed", "threads", "chunk",
+        "chunk-policy", "start", "point-parallel", "shuffle-points",
         "out",    "json"};
     if (known.count(key) == 0) {
       std::fprintf(stderr, "unknown sweep option --%s\n", key.c_str());
@@ -265,6 +279,20 @@ int cmd_sweep(const Args& args) {
     spec.engines.push_back(*engine);
   }
 
+  spec.starts.clear();
+  for (const auto& name : split_list(args.get_string("start", "uniform"))) {
+    const auto start = runner::parse_start_profile(name);
+    if (!start) {
+      std::fprintf(stderr,
+                   "bad start profile '%s' (want uniform or "
+                   "geometric:<ratio> with ratio in (0,1])\n",
+                   name.c_str());
+      usage();
+    }
+    spec.starts.push_back(*start);
+  }
+  if (spec.starts.empty()) usage();
+
   spec.undecided_fraction = args.get_double("ufrac", 0.0);
   // --undecided (absolute count, shared with `run`) is honored for
   // single-n sweeps; a count is ambiguous across an n grid.
@@ -294,6 +322,23 @@ int cmd_sweep(const Args& args) {
   spec.threads = static_cast<std::size_t>(threads);
   spec.batch_chunk_fraction =
       args.get_double("chunk", spec.batch_chunk_fraction);
+  {
+    const std::string policy_name =
+        args.get_string("chunk-policy", "fixed");
+    const auto policy = core::parse_chunk_policy(policy_name);
+    if (!policy) {
+      std::fprintf(stderr, "unknown chunk policy '%s'\n",
+                   policy_name.c_str());
+      usage();
+    }
+    spec.batch_policy = *policy;
+  }
+  spec.point_parallelism = args.get_bool("point-parallel", false);
+  spec.shuffle_points = args.get_bool("shuffle-points", false);
+  if (spec.shuffle_points && !spec.point_parallelism) {
+    std::fprintf(stderr, "--shuffle-points requires --point-parallel 1\n");
+    usage();
+  }
 
   const runner::Sweep sweep(std::move(spec));
   const std::string csv_path = args.get_string("out", "");
