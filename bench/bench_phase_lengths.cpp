@@ -1,0 +1,122 @@
+// E16 — dedicated T1-T5 phase-length study at n >= 1e8 on the
+// boundary-exact batched observer.
+//
+// bench_phases measures the phase table at per-interaction scales
+// (n <= ~1e5). This bench is the large-n companion the instrument was
+// built for: the batched engine with the adaptive chunk controller,
+// observed through run_observed's boundary-clamped snapshots so every
+// T1..T5 milestone lands exactly on an observation-interval multiple
+// (never a chunk late). At full scale (REPRO_SCALE=1) it runs n = 1e8;
+// REPRO_SCALE shrinks it for CI smoke runs. Results go to
+// BENCH_phases.json (uploaded by CI next to the other bench artifacts).
+//
+// Shape checks mirrored from the paper (Section 2.1): phases complete in
+// order, P1/P5 are ~n log n (independent of k), P2+P3 carry the k factor.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/run.hpp"
+#include "runner/scale.hpp"
+#include "runner/table.hpp"
+#include "runner/trials.hpp"
+#include "stats/summary.hpp"
+
+using namespace kusd;
+
+namespace {
+
+struct PhaseRow {
+  double len[5] = {0, 0, 0, 0, 0};
+  double parallel_time = 0.0;
+  bool ok = false;
+};
+
+PhaseRow measure(pp::Count n, int k, std::uint64_t seed) {
+  const auto x0 = pp::Configuration::uniform(n, k, 0);
+  core::RunOptions opts;
+  opts.engine = "batched";
+  opts.batch.policy = core::ChunkPolicy::kAdaptive;
+  // 64 snapshots per n of parallel time: far below phase lengths, and the
+  // batched observer clamps chunks so milestones are boundary-exact.
+  opts.observe_interval = std::max<pp::Count>(1, n / 64);
+  const auto r = core::run_usd(x0, seed, opts);
+  PhaseRow row;
+  if (!r.converged || !r.phases.complete()) return row;
+  row.ok = true;
+  row.parallel_time = r.parallel_time;
+  for (int p = 1; p <= 5; ++p) {
+    row.len[p - 1] = static_cast<double>(*r.phases.phase_length(p));
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E16", "T1-T5 phase lengths at n >= 1e8 (batched observer)",
+                "Per-phase interactions for unbiased starts at bench scale; "
+                "boundary-exact batched observation, adaptive chunks.");
+
+  const pp::Count n = runner::scaled(100'000'000);
+  const std::vector<int> ks{8, 32};
+  const int trials = runner::scaled_trials(6);
+
+  runner::Table table({"k", "P1 (rise)", "P2 (add.bias)", "P3 (mult.bias)",
+                       "P4 (majority)", "P5 (consensus)", "total/n",
+                       "complete"});
+  bench::JsonResult json;
+  json.add_string("bench", "bench_phase_lengths");
+  json.add("repro_scale", runner::repro_scale());
+  json.add("n", static_cast<std::uint64_t>(n));
+  json.add("trials", trials);
+
+  bool all_complete = true;
+  for (const int k : ks) {
+    const auto rows = runner::run_trials<PhaseRow>(
+        trials, 0xE16000 + static_cast<std::uint64_t>(k),
+        [n, k](std::uint64_t seed) { return measure(n, k, seed); });
+    stats::Samples phase[5];
+    int ok = 0;
+    double parallel_total = 0.0;
+    for (const auto& row : rows) {
+      if (!row.ok) continue;
+      ++ok;
+      parallel_total += row.parallel_time;
+      for (int i = 0; i < 5; ++i) phase[i].add(row.len[i]);
+    }
+    all_complete = all_complete && ok == trials;
+    const std::string prefix = "k" + std::to_string(k) + "_";
+    json.add(prefix + "complete_trials", ok);
+    if (ok == 0) {
+      table.add_row({std::to_string(k), "-", "-", "-", "-", "-", "-", "0"});
+      continue;
+    }
+    double total = 0.0;
+    for (int i = 0; i < 5; ++i) {
+      total += phase[i].mean();
+      json.add(prefix + "p" + std::to_string(i + 1) + "_mean",
+               phase[i].mean());
+    }
+    json.add(prefix + "parallel_time_mean",
+             parallel_total / static_cast<double>(ok));
+    json.add(prefix + "total_over_k_n_ln_n",
+             total / (static_cast<double>(k) * bench::n_log_n(n)));
+    table.add_row({std::to_string(k), runner::fmt_compact(phase[0].mean()),
+                   runner::fmt_compact(phase[1].mean()),
+                   runner::fmt_compact(phase[2].mean()),
+                   runner::fmt_compact(phase[3].mean()),
+                   runner::fmt_compact(phase[4].mean()),
+                   runner::fmt(total / static_cast<double>(n), 1),
+                   std::to_string(ok) + "/" + std::to_string(trials)});
+  }
+  table.print();
+
+  json.add_bool("all_trials_complete", all_complete);
+  const bool json_ok = json.write("BENCH_phases.json");
+  std::printf("\nwrote BENCH_phases.json\n");
+  // Incomplete phases at bench scale mean the instrument regressed; fail
+  // loudly so the bench-smoke CI lane notices.
+  return (all_complete && json_ok) ? 0 : 1;
+}

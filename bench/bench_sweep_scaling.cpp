@@ -33,8 +33,7 @@ runner::SweepSpec grid_spec() {
   runner::SweepSpec spec;
   // Many small points: 2 engines x 2 n x 3 k x 4 alpha = 48 cells of a
   // few hundred agents each.
-  spec.engines = {runner::SweepEngine::kSkipUnproductive,
-                  runner::SweepEngine::kGossip};
+  spec.engines = {"skip", "gossip"};
   spec.ns = {runner::scaled(2000, 200), runner::scaled(4000, 400)};
   spec.ks = {2, 4, 8};
   spec.bias_kind = runner::BiasKind::kMultiplicative;

@@ -32,6 +32,8 @@ ChunkController::ChunkController(const ChunkOptions& options, pp::Count n)
                      a.max_fraction <= 1.0,
                  "need 0 <= min_fraction <= max_fraction <= 1");
   KUSD_CHECK_MSG(a.grow_factor > 1.0, "grow_factor must exceed 1");
+  KUSD_CHECK_MSG(a.trend_alpha >= 0.0 && a.trend_alpha < 1.0,
+                 "trend_alpha must be in [0, 1)");
 
   const double dn = static_cast<double>(n);
   fixed_chunk_ = std::max<std::uint64_t>(
@@ -84,6 +86,25 @@ std::uint64_t ChunkController::propose(std::span<const pp::Count> opinions,
     if (drift > 0.0) bound = std::min(bound, band / drift);
     const double sigma2 = gain + loss;
     if (sigma2 > 0.0) bound = std::min(bound, band * band / sigma2);
+  }
+
+  // PI-style lookahead: smooth the bound's step-to-step change with an
+  // EWMA and, while the bound is falling, pre-shrink by the predicted
+  // next-step drop. Anticipation only tightens (a rising trend never
+  // extends the hard error cap) and is floored at a quarter of the raw
+  // bound, so one noisy estimate cannot collapse the schedule.
+  const double raw_bound = bound;
+  if (options_.adaptive.trend_alpha > 0.0) {
+    if (has_previous_raw_bound_) {
+      const double alpha = options_.adaptive.trend_alpha;
+      trend_ = (1.0 - alpha) * trend_ +
+               alpha * (raw_bound - previous_raw_bound_);
+      if (trend_ < 0.0) {
+        bound = std::max({raw_bound + trend_, 0.25 * raw_bound, 1.0});
+      }
+    }
+    previous_raw_bound_ = raw_bound;
+    has_previous_raw_bound_ = true;
   }
 
   auto target = static_cast<std::uint64_t>(

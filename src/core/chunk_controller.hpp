@@ -19,9 +19,12 @@
 //        m * sigma2_c      <= (tol * max(c, 1))^2 (predicted fluctuation)
 //    clamped to [min_fraction, max_fraction] of n and moved geometrically
 //    (at most grow_factor per step) so one noisy estimate cannot slam the
-//    chunk around. Flat mid-run regimes take chunks far larger than the
-//    fixed default; near-absorbing and early phase-transition states drop
-//    automatically toward the exact single-interaction chain.
+//    chunk around. An EWMA of the bound's step-to-step change
+//    (trend_alpha) additionally pre-shrinks the chunk when the bound is
+//    falling, so the schedule tightens *before* a phase transition rather
+//    than one step into it. Flat mid-run regimes take chunks far larger
+//    than the fixed default; near-absorbing and early phase-transition
+//    states drop automatically toward the exact single-interaction chain.
 //
 // The controller is pure bookkeeping: it never draws randomness, so for a
 // fixed sequence of observed configurations its proposals are
@@ -63,6 +66,15 @@ struct AdaptiveChunkOptions {
   /// immediate (the error bound is a hard cap); growth is rate-limited so
   /// one flat-looking configuration cannot jump straight to the ceiling.
   double grow_factor = 2.0;
+  /// EWMA weight of the drift-trend lookahead, in [0, 1); 0 disables it.
+  /// The controller smooths the step-to-step change of the raw tau bound
+  /// and, when the bound is falling, pre-shrinks the next chunk by the
+  /// predicted one-step drop (PI-style): chunks tighten *before* a phase
+  /// transition instead of one step into it. The anticipation only ever
+  /// shrinks below the hard error bound (never extends it), so accuracy
+  /// is unaffected, and it is floored at a quarter of the raw bound so a
+  /// noisy spike cannot collapse the schedule.
+  double trend_alpha = 0.25;
 };
 
 /// Options of the batched engine's chunk schedule. The first member keeps
@@ -109,6 +121,12 @@ class ChunkController {
   std::uint64_t fixed_chunk_ = 1;
   /// Last adaptive proposal (growth baseline).
   std::uint64_t last_ = 0;
+  // Trend lookahead state (see AdaptiveChunkOptions::trend_alpha): the
+  // EWMA of the raw bound's step-to-step change, and the previous raw
+  // bound it is updated against.
+  double trend_ = 0.0;
+  double previous_raw_bound_ = 0.0;
+  bool has_previous_raw_bound_ = false;
 };
 
 }  // namespace kusd::core

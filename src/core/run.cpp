@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/bias.hpp"
+#include "sim/registry.hpp"
 #include "util/check.hpp"
 
 namespace kusd::core {
@@ -17,22 +18,31 @@ std::uint64_t default_interaction_cap(pp::Count n, int k) {
   return cap >= kMax ? ~std::uint64_t{0} : static_cast<std::uint64_t>(cap);
 }
 
-namespace {
+RunResult run_usd(const pp::Configuration& initial, std::uint64_t seed,
+                  RunOptions options) {
+  RunResult result;
+  result.initial_plurality = initial.argmax();
 
-// Shared driver: UsdSimulator and BatchedUsdSimulator expose the same
-// stepping/observation API, so the phase-tracking and outcome
-// classification logic is written once against either.
-template <typename Simulator>
-void run_with(Simulator& sim, const pp::Configuration& initial,
-              const RunOptions& options, std::uint64_t cap,
-              RunResult& result) {
+  // All engine construction goes through the registry; the StepMode knob
+  // is only a legacy spelling of the engine name.
+  sim::EngineOptions engine_options;
+  engine_options.batch = options.batch;
+  engine_options.urn = options.urn;
+  engine_options.graph = options.graph;
+  const std::string name =
+      options.engine.empty() ? engine_name(options.mode) : options.engine;
+  const auto engine =
+      sim::Registry::instance().create(name, initial, seed, engine_options);
+
+  const std::uint64_t cap = options.max_interactions != 0
+                                ? options.max_interactions
+                                : engine->default_budget();
   if (options.track_phases) {
     PhaseTracker tracker(initial.n(), options.alpha);
     const std::uint64_t interval = options.observe_interval != 0
                                        ? options.observe_interval
-                                       : std::max<std::uint64_t>(
-                                             1, initial.n() / 8);
-    result.converged = sim.run_observed(
+                                       : engine->default_observe_interval();
+    result.converged = engine->run_observed(
         cap, interval,
         [&tracker](std::uint64_t t, std::span<const pp::Count> opinions,
                    pp::Count undecided) {
@@ -40,38 +50,16 @@ void run_with(Simulator& sim, const pp::Configuration& initial,
         });
     result.phases = tracker.times();
   } else {
-    result.converged = sim.run_to_consensus(cap);
+    result.converged = engine->run_to_consensus(cap);
   }
 
-  result.interactions = sim.interactions();
-  result.parallel_time = static_cast<double>(sim.interactions()) /
-                         static_cast<double>(initial.n());
+  result.interactions = engine->elapsed();
+  result.parallel_time = engine->parallel_time();
   if (result.converged) {
-    result.winner = sim.consensus_opinion();
+    result.winner = engine->consensus_opinion();
     result.plurality_won = result.winner == result.initial_plurality;
     result.winner_initially_significant =
         is_significant(initial, result.winner, options.alpha);
-  }
-}
-
-}  // namespace
-
-RunResult run_usd(const pp::Configuration& initial, std::uint64_t seed,
-                  RunOptions options) {
-  RunResult result;
-  result.initial_plurality = initial.argmax();
-  const std::uint64_t cap = options.max_interactions != 0
-                                ? options.max_interactions
-                                : default_interaction_cap(initial.n(),
-                                                          initial.k());
-
-  if (options.mode == StepMode::kBatchedRounds) {
-    BatchedUsdSimulator sim(initial, rng::Rng(seed), options.batch);
-    run_with(sim, initial, options, cap, result);
-  } else {
-    UsdSimulator sim(initial, rng::Rng(seed),
-                     UsdOptions{options.mode, options.engine});
-    run_with(sim, initial, options, cap, result);
   }
   return result;
 }

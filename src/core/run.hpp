@@ -2,29 +2,48 @@
 // track the five phases, and classify the outcome against the paper's
 // claims (did the initial plurality win? was the winner initially
 // significant?). This is the entry point the examples and most benches use.
+//
+// The engine is resolved through sim::Registry: pick it either with the
+// legacy StepMode knob (the asynchronous engines) or by registry name via
+// RunOptions::engine, which also opens the round models ("sync",
+// "gossip") and the graph-restricted scheduler ("graph", with
+// RunOptions::graph selecting the topology).
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <string>
 
 #include "core/batched_usd.hpp"
 #include "core/phase_tracker.hpp"
 #include "core/usd.hpp"
 #include "pp/configuration.hpp"
+#include "sim/graph_spec.hpp"
 
 namespace kusd::core {
 
 struct RunOptions {
-  /// Hard cap on interactions; 0 picks a generous default of
-  /// 64 * k * n * (ln n + 1) (several times the paper's O(k n log n)).
+  /// Hard cap in the engine's native time unit (interactions for the
+  /// asynchronous engines, super-rounds/rounds for sync/gossip); 0 picks
+  /// the engine's generous default budget (for the asynchronous engines,
+  /// 64 * k * n * (ln n + 1) — several times the paper's O(k n log n)).
   std::uint64_t max_interactions = 0;
+  /// Legacy engine selector, used when `engine` is empty.
   StepMode mode = StepMode::kSkipUnproductive;
-  urn::UrnEngine engine = urn::UrnEngine::kAuto;
-  /// Chunk schedule for StepMode::kBatchedRounds: fixed chunk fraction or
-  /// the error-controlled adaptive policy (see chunk_controller.hpp).
+  /// sim::Registry name of the engine to run ("every", "skip", "batched",
+  /// "sync", "gossip", "graph", or anything registered); empty derives
+  /// the name from `mode`.
+  std::string engine;
+  /// Urn backend of the every/skip engines.
+  urn::UrnEngine urn = urn::UrnEngine::kAuto;
+  /// Chunk schedule for the batched engine: fixed chunk fraction or the
+  /// error-controlled adaptive policy (see chunk_controller.hpp).
   BatchedOptions batch;
-  /// Track T1..T5; snapshots are taken every `observe_interval`
-  /// interactions (0 picks n/8, a resolution far below phase lengths).
+  /// Topology for the graph engine.
+  sim::GraphSpec graph;
+  /// Track T1..T5; snapshots are taken every `observe_interval` native
+  /// time units (0 picks the engine default: n/8 interactions — a
+  /// resolution far below phase lengths — or one round).
   bool track_phases = true;
   std::uint64_t observe_interval = 0;
   /// Significance constant alpha of the paper.
@@ -35,9 +54,12 @@ struct RunResult {
   bool converged = false;
   /// Consensus opinion (valid iff converged).
   int winner = -1;
-  /// Interactions until consensus (or the cap if not converged).
+  /// Native time until consensus (or the cap if not converged):
+  /// interactions for the asynchronous engines, super-rounds/rounds for
+  /// the synchronous ones.
   std::uint64_t interactions = 0;
-  /// Parallel time: interactions / n.
+  /// Cross-engine comparable time: interactions / n for the asynchronous
+  /// engines, total rounds for sync/gossip.
   double parallel_time = 0.0;
   PhaseTimes phases;
 
@@ -49,7 +71,8 @@ struct RunResult {
   bool winner_initially_significant = false;
 };
 
-/// Default interaction cap used when RunOptions::max_interactions == 0.
+/// Default interaction cap used by the asynchronous engines when
+/// RunOptions::max_interactions == 0.
 [[nodiscard]] std::uint64_t default_interaction_cap(pp::Count n, int k);
 
 /// Run the USD once from `initial` with a deterministic seed.

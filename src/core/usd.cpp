@@ -23,6 +23,15 @@ pp::PairTransition UsdProtocol::apply(int responder, int initiator) const {
   return {responder, initiator};  // unproductive
 }
 
+const char* engine_name(StepMode mode) {
+  switch (mode) {
+    case StepMode::kEveryInteraction: return "every";
+    case StepMode::kSkipUnproductive: return "skip";
+    case StepMode::kBatchedRounds: return "batched";
+  }
+  return "?";
+}
+
 namespace {
 std::uint64_t square(pp::Count c) {
   return static_cast<std::uint64_t>(c) * static_cast<std::uint64_t>(c);

@@ -56,6 +56,9 @@ enum class StepMode {
   kBatchedRounds,
 };
 
+/// sim::Registry spelling of a StepMode ("every", "skip", "batched").
+[[nodiscard]] const char* engine_name(StepMode mode);
+
 struct UsdOptions {
   StepMode mode = StepMode::kEveryInteraction;
   urn::UrnEngine engine = urn::UrnEngine::kAuto;

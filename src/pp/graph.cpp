@@ -16,13 +16,26 @@ InteractionGraph::InteractionGraph(
   KUSD_CHECK_MSG(!edges_.empty(), "a graph needs at least one edge");
 }
 
+InteractionGraph::InteractionGraph(std::uint32_t n) : n_(n), complete_(true) {
+  KUSD_CHECK_MSG(n >= 2, "a graph needs at least two vertices");
+}
+
 InteractionGraph InteractionGraph::complete(std::uint32_t n) {
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
-  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
-  for (std::uint32_t u = 0; u < n; ++u) {
-    for (std::uint32_t v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  return InteractionGraph(n);
+}
+
+std::pair<std::uint32_t, std::uint32_t> InteractionGraph::edge(
+    std::size_t i) const {
+  if (!complete_) return edges_[i];
+  // Linear index over the upper triangle: row u covers indices
+  // [u*n - u*(u+1)/2, ...) of length n - 1 - u.
+  std::uint32_t u = 0;
+  std::uint64_t rem = i;
+  while (rem >= static_cast<std::uint64_t>(n_ - 1 - u)) {
+    rem -= n_ - 1 - u;
+    ++u;
   }
-  return InteractionGraph(n, std::move(edges));
+  return {u, static_cast<std::uint32_t>(u + 1 + rem)};
 }
 
 InteractionGraph InteractionGraph::cycle(std::uint32_t n) {
@@ -92,6 +105,14 @@ InteractionGraph InteractionGraph::erdos_renyi(std::uint32_t n, double p,
 
 std::pair<std::uint32_t, std::uint32_t> InteractionGraph::sample_pair(
     rng::Rng& rng) const {
+  if (complete_) {
+    // Uniform ordered pair of distinct vertices — identical in law to
+    // edge-then-orientation, without touching an edge list.
+    const auto u = static_cast<std::uint32_t>(rng.bounded(n_));
+    auto v = static_cast<std::uint32_t>(rng.bounded(n_ - 1));
+    if (v >= u) ++v;
+    return {u, v};
+  }
   const auto& e = edges_[static_cast<std::size_t>(rng.bounded(
       static_cast<std::uint64_t>(edges_.size())))];
   return rng.bernoulli(0.5) ? std::make_pair(e.first, e.second)
@@ -99,6 +120,7 @@ std::pair<std::uint32_t, std::uint32_t> InteractionGraph::sample_pair(
 }
 
 bool InteractionGraph::is_connected() const {
+  if (complete_) return true;
   std::vector<std::vector<std::uint32_t>> adj(n_);
   for (const auto& [u, v] : edges_) {
     adj[u].push_back(v);

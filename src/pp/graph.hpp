@@ -18,9 +18,13 @@ namespace kusd::pp {
 
 /// Undirected interaction graph stored as an edge list (an interaction
 /// picks a uniformly random edge, then a uniformly random orientation).
+/// The complete graph is held implicitly — K_n never materializes its
+/// Theta(n^2) edges, so complete-topology runs scale like the
+/// unrestricted scheduler in memory.
 class InteractionGraph {
  public:
-  /// Complete graph K_n (equivalent to the unrestricted scheduler).
+  /// Complete graph K_n (equivalent to the unrestricted scheduler
+  /// conditioned on responder != initiator). Implicit: O(1) storage.
   static InteractionGraph complete(std::uint32_t n);
   /// Cycle C_n.
   static InteractionGraph cycle(std::uint32_t n);
@@ -34,11 +38,12 @@ class InteractionGraph {
                                       rng::Rng& rng);
 
   [[nodiscard]] std::uint32_t num_vertices() const { return n_; }
-  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
-  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> edge(
-      std::size_t i) const {
-    return edges_[i];
+  [[nodiscard]] std::size_t num_edges() const {
+    return complete_ ? static_cast<std::size_t>(n_) * (n_ - 1) / 2
+                     : edges_.size();
   }
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> edge(
+      std::size_t i) const;
 
   /// Sample a uniformly random ordered pair (responder, initiator) along
   /// an edge.
@@ -51,8 +56,11 @@ class InteractionGraph {
  private:
   InteractionGraph(std::uint32_t n,
                    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges);
+  /// Implicit K_n (no edge list).
+  explicit InteractionGraph(std::uint32_t n);
 
   std::uint32_t n_;
+  bool complete_ = false;
   std::vector<std::pair<std::uint32_t, std::uint32_t>> edges_;
 };
 

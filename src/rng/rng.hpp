@@ -60,14 +60,6 @@ namespace kusd::rng {
   return block[0] ^ block[1];
 }
 
-/// Deprecated spelling of stream_seed, kept for source compatibility. Note
-/// it now derives Philox-based seeds: the pre-Philox hash-derived values
-/// are gone, so seed-sensitive outputs differ from older revisions.
-[[deprecated("use rng::stream_seed")]] [[nodiscard]] constexpr std::uint64_t
-derive_stream(std::uint64_t master_seed, std::uint64_t id) {
-  return stream_seed(master_seed, id);
-}
-
 /// xoshiro256++ generator with convenience samplers for every distribution
 /// the simulators need. Copyable (copies fork the stream deterministically).
 class Rng {

@@ -7,26 +7,14 @@
 #include <sstream>
 #include <utility>
 
-#include "core/run.hpp"
-#include "core/sync_usd.hpp"
-#include "gossip/gossip_usd.hpp"
+#include "rng/rng.hpp"
 #include "runner/table.hpp"
 #include "runner/trials.hpp"
+#include "sim/registry.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
 
 namespace kusd::runner {
-
-const char* to_string(SweepEngine engine) {
-  switch (engine) {
-    case SweepEngine::kEveryInteraction: return "every";
-    case SweepEngine::kSkipUnproductive: return "skip";
-    case SweepEngine::kBatchedRounds: return "batched";
-    case SweepEngine::kSynchronized: return "sync";
-    case SweepEngine::kGossip: return "gossip";
-  }
-  return "?";
-}
 
 const char* to_string(BiasKind kind) {
   switch (kind) {
@@ -46,15 +34,6 @@ std::string to_string(const StartProfile& start) {
   const auto result =
       std::to_chars(buffer, buffer + sizeof buffer, start.ratio);
   return "geometric:" + std::string(buffer, result.ptr);
-}
-
-std::optional<SweepEngine> parse_engine(const std::string& name) {
-  if (name == "every") return SweepEngine::kEveryInteraction;
-  if (name == "skip") return SweepEngine::kSkipUnproductive;
-  if (name == "batched") return SweepEngine::kBatchedRounds;
-  if (name == "sync") return SweepEngine::kSynchronized;
-  if (name == "gossip") return SweepEngine::kGossip;
-  return std::nullopt;
 }
 
 std::optional<StartProfile> parse_start_profile(const std::string& name) {
@@ -101,59 +80,42 @@ pp::Configuration build_config(const SweepSpec& spec, const SweepPoint& p) {
   KUSD_CHECK_MSG(false, "unreachable bias kind");
 }
 
-/// Round caps mirroring default_interaction_cap's generosity: the
-/// synchronized variant is O(log^2 n) rounds w.h.p., gossip O(k log n).
-std::uint64_t sync_round_cap(pp::Count n) {
-  const double lg = std::log2(static_cast<double>(n)) + 1.0;
-  return static_cast<std::uint64_t>(64.0 * lg * lg) + 256;
+sim::EngineOptions engine_options(const SweepSpec& spec,
+                                  const SweepPoint& point,
+                                  const pp::InteractionGraph* topology) {
+  sim::EngineOptions options;
+  options.batch.chunk_fraction = spec.batch_chunk_fraction;
+  options.batch.policy = spec.batch_policy;
+  if (point.graph.has_value()) {
+    options.graph = *point.graph;
+    options.shared_graph = topology;
+  }
+  return options;
 }
 
-std::uint64_t gossip_round_cap(pp::Count n, int k) {
-  const double lg = std::log2(static_cast<double>(n)) + 1.0;
-  return static_cast<std::uint64_t>(64.0 * static_cast<double>(k) * lg) + 256;
+/// Build the point's shared topology (graph-axis engines only): one
+/// deterministic construction per grid point, reused read-only by every
+/// trial regardless of thread placement.
+std::optional<pp::InteractionGraph> build_topology(const SweepPoint& point,
+                                                   std::uint64_t point_seed) {
+  if (!point.graph.has_value()) return std::nullopt;
+  rng::Rng topology_rng(rng::stream_seed(point_seed, sim::kTopologyStream));
+  return sim::build_graph(*point.graph, point.n, topology_rng);
 }
 
 TrialOutcome run_one(const SweepSpec& spec, const SweepPoint& point,
-                     const pp::Configuration& x0, std::uint64_t seed) {
+                     const pp::Configuration& x0,
+                     const pp::InteractionGraph* topology,
+                     std::uint64_t seed) {
+  const auto engine = sim::Registry::instance().create(
+      point.engine, x0, seed, engine_options(spec, point, topology));
   TrialOutcome out;
-  switch (point.engine) {
-    case SweepEngine::kEveryInteraction:
-    case SweepEngine::kSkipUnproductive:
-    case SweepEngine::kBatchedRounds: {
-      core::RunOptions opts;
-      opts.track_phases = false;
-      opts.mode = point.engine == SweepEngine::kEveryInteraction
-                      ? core::StepMode::kEveryInteraction
-                  : point.engine == SweepEngine::kSkipUnproductive
-                      ? core::StepMode::kSkipUnproductive
-                      : core::StepMode::kBatchedRounds;
-      opts.batch.chunk_fraction = spec.batch_chunk_fraction;
-      opts.batch.policy = spec.batch_policy;
-      const auto r = core::run_usd(x0, seed, opts);
-      out.parallel_time = r.parallel_time;
-      out.converged = r.converged;
-      out.plurality_won = r.plurality_won;
-      return out;
-    }
-    case SweepEngine::kSynchronized: {
-      core::SyncUsd sim(x0, rng::Rng(seed));
-      out.converged = sim.run_to_consensus(sync_round_cap(point.n));
-      out.parallel_time = static_cast<double>(sim.total_rounds());
-      out.plurality_won =
-          out.converged && sim.consensus_opinion() == x0.argmax();
-      return out;
-    }
-    case SweepEngine::kGossip: {
-      gossip::GossipUsd sim(x0, rng::Rng(seed));
-      out.converged =
-          sim.run_to_consensus(gossip_round_cap(point.n, point.k));
-      out.parallel_time = static_cast<double>(sim.rounds());
-      out.plurality_won =
-          out.converged && sim.consensus_opinion() == x0.argmax();
-      return out;
-    }
-  }
-  KUSD_CHECK_MSG(false, "unreachable sweep engine");
+  out.converged = engine->run_to_consensus(
+      spec.max_time != 0 ? spec.max_time : engine->default_budget());
+  out.parallel_time = engine->parallel_time();
+  out.plurality_won =
+      out.converged && engine->consensus_opinion() == x0.argmax();
+  return out;
 }
 
 SweepCell aggregate_cell(const SweepSpec& spec, const SweepPoint& point,
@@ -184,32 +146,62 @@ Sweep::Sweep(SweepSpec spec) : spec_(std::move(spec)) {
   KUSD_CHECK_MSG(spec_.trials >= 0, "sweep: negative trial count");
   KUSD_CHECK_MSG(!spec_.ns.empty() && !spec_.ks.empty() &&
                      !spec_.starts.empty() && !spec_.bias_values.empty() &&
-                     !spec_.engines.empty(),
+                     !spec_.engines.empty() && !spec_.graphs.empty(),
                  "sweep: every axis needs at least one value");
   KUSD_CHECK_MSG(
       spec_.undecided_fraction >= 0.0 && spec_.undecided_fraction < 1.0,
       "sweep: undecided fraction must be in [0, 1)");
   KUSD_CHECK_MSG(!spec_.shuffle_points || spec_.point_parallelism,
                  "sweep: shuffle_points requires point_parallelism");
-  // Fail the whole sweep upfront rather than aborting mid-grid after other
-  // points already streamed.
-  for (const auto engine : spec_.engines) {
-    KUSD_CHECK_MSG(engine != SweepEngine::kSynchronized ||
+  // Engine constraints come from registry metadata, so the sweep needs no
+  // per-engine knowledge. Fail the whole sweep upfront rather than
+  // aborting mid-grid after other points already streamed.
+  const auto& registry = sim::Registry::instance();
+  bool any_graph_engine = false;
+  for (const auto& name : spec_.engines) {
+    const sim::EngineInfo* info = registry.find(name);
+    KUSD_CHECK_MSG(info != nullptr,
+                   "sweep: unknown engine '" + name +
+                       "' (registered: " + registry.names_joined() + ")");
+    any_graph_engine = any_graph_engine || info->uses_graph_axis;
+    KUSD_CHECK_MSG(!info->requires_decided_start ||
                        spec_.undecided_fraction == 0.0,
-                   "sweep: the sync engine starts fully decided "
-                   "(undecided fraction must be 0)");
-    if (engine == SweepEngine::kEveryInteraction ||
-        engine == SweepEngine::kSkipUnproductive) {
+                   "sweep: engine '" + name +
+                       "' starts fully decided (undecided fraction must "
+                       "be 0)");
+    if (info->max_n != 0) {
       for (const auto n : spec_.ns) {
-        KUSD_CHECK_MSG(n < (std::uint64_t{1} << 32),
-                       "sweep: the every/skip engines cap n below 2^32 "
-                       "(use the batched engine beyond that)");
+        KUSD_CHECK_MSG(n <= info->max_n,
+                       "sweep: engine '" + name + "' caps n at " +
+                           std::to_string(info->max_n));
       }
     }
-    KUSD_CHECK_MSG(engine != SweepEngine::kBatchedRounds ||
+    KUSD_CHECK_MSG(!info->uses_chunk_options ||
                        (spec_.batch_chunk_fraction > 0.0 &&
                         spec_.batch_chunk_fraction <= 1.0),
                    "sweep: batched chunk fraction must be in (0, 1]");
+  }
+  KUSD_CHECK_MSG(
+      any_graph_engine ||
+          spec_.graphs == std::vector<sim::GraphSpec>{sim::GraphSpec{}},
+      "sweep: the graph axis requires a topology-taking engine "
+      "(--engine graph)");
+  for (const auto& graph : spec_.graphs) {
+    if (graph.kind == sim::GraphSpec::Kind::kRegular && any_graph_engine) {
+      for (const auto n : spec_.ns) {
+        KUSD_CHECK_MSG(graph.degree >= 1 &&
+                           static_cast<pp::Count>(graph.degree) < n,
+                       "sweep: regular:<d> needs 1 <= d < n");
+        KUSD_CHECK_MSG(
+            (n * static_cast<pp::Count>(graph.degree)) % 2 == 0,
+            "sweep: regular:<d> needs n * d even at every n of the grid");
+      }
+    }
+    KUSD_CHECK_MSG(graph.kind != sim::GraphSpec::Kind::kErdosRenyi ||
+                       graph.edge_probability == 0.0 ||
+                       (graph.edge_probability > 0.0 &&
+                        graph.edge_probability <= 1.0),
+                   "sweep: er:<p> needs p in (0, 1] or er:auto");
   }
   for (const auto& start : spec_.starts) {
     if (start.kind == StartProfile::Kind::kGeometric) {
@@ -253,22 +245,31 @@ Sweep::Sweep(SweepSpec spec) : spec_(std::move(spec)) {
 
 std::vector<SweepPoint> Sweep::grid() const {
   // With no bias, the bias axis is a single implicit point — listing
-  // several values would just duplicate work.
+  // several values would just duplicate work. Likewise the graph axis
+  // multiplies only engines that take a topology.
   const std::size_t bias_points =
       spec_.bias_kind == BiasKind::kNone ? 1 : spec_.bias_values.size();
+  const auto& registry = sim::Registry::instance();
   std::vector<SweepPoint> points;
-  points.reserve(spec_.engines.size() * spec_.ns.size() * spec_.ks.size() *
-                 spec_.starts.size() * bias_points);
   std::size_t index = 0;
-  for (const auto engine : spec_.engines) {
-    for (const auto n : spec_.ns) {
-      for (const auto k : spec_.ks) {
-        for (const auto& start : spec_.starts) {
-          for (std::size_t b = 0; b < bias_points; ++b) {
-            const double bias = spec_.bias_kind == BiasKind::kNone
-                                    ? 0.0
-                                    : spec_.bias_values[b];
-            points.push_back(SweepPoint{engine, n, k, start, bias, index++});
+  for (const auto& engine : spec_.engines) {
+    const sim::EngineInfo* info = registry.find(engine);
+    const bool graph_axis = info != nullptr && info->uses_graph_axis;
+    const std::size_t graph_points = graph_axis ? spec_.graphs.size() : 1;
+    for (std::size_t g = 0; g < graph_points; ++g) {
+      for (const auto n : spec_.ns) {
+        for (const auto k : spec_.ks) {
+          for (const auto& start : spec_.starts) {
+            for (std::size_t b = 0; b < bias_points; ++b) {
+              const double bias = spec_.bias_kind == BiasKind::kNone
+                                      ? 0.0
+                                      : spec_.bias_values[b];
+              points.push_back(SweepPoint{
+                  engine,
+                  graph_axis ? std::optional<sim::GraphSpec>(spec_.graphs[g])
+                             : std::nullopt,
+                  n, k, start, bias, index++});
+            }
           }
         }
       }
@@ -288,10 +289,13 @@ SweepCell Sweep::run_point(util::ThreadPool& pool,
   util::Stopwatch watch;
   const std::uint64_t point_seed =
       rng::stream_seed(spec_.master_seed, point.index);
+  const auto topology = build_topology(point, point_seed);
+  const pp::InteractionGraph* shared =
+      topology.has_value() ? &*topology : nullptr;
   const auto outcomes = run_trials<TrialOutcome>(
       pool, spec_.trials, point_seed,
-      [this, &point, &x0](std::uint64_t seed) {
-        return run_one(spec_, point, x0, seed);
+      [this, &point, &x0, shared](std::uint64_t seed) {
+        return run_one(spec_, point, x0, shared, seed);
       });
   return aggregate_cell(spec_, point, outcomes, watch.seconds());
 }
@@ -332,11 +336,14 @@ void Sweep::run(const std::function<void(const SweepCell&)>& on_cell) const {
       util::Stopwatch watch;
       const std::uint64_t point_seed =
           rng::stream_seed(spec_.master_seed, point.index);
+      const auto topology = build_topology(point, point_seed);
+      const pp::InteractionGraph* shared =
+          topology.has_value() ? &*topology : nullptr;
       std::vector<TrialOutcome> outcomes(
           static_cast<std::size_t>(spec_.trials));
       for (int t = 0; t < spec_.trials; ++t) {
         outcomes[static_cast<std::size_t>(t)] = run_one(
-            spec_, point, x0,
+            spec_, point, x0, shared,
             rng::stream_seed(point_seed, static_cast<std::uint64_t>(t)));
       }
       auto cell = aggregate_cell(spec_, point, outcomes, watch.seconds());
@@ -359,6 +366,7 @@ void Sweep::run(const std::function<void(const SweepCell&)>& on_cell) const {
 
 std::vector<std::string> Sweep::csv_header() {
   return {"engine",
+          "graph",
           "n",
           "k",
           "start",
@@ -375,7 +383,9 @@ std::vector<std::string> Sweep::csv_header() {
 
 std::vector<std::string> Sweep::csv_row(const SweepCell& cell) {
   const auto& pt = cell.parallel_time;
-  return {to_string(cell.point.engine),
+  return {cell.point.engine,
+          cell.point.graph.has_value() ? sim::to_string(*cell.point.graph)
+                                       : "-",
           std::to_string(cell.point.n),
           std::to_string(cell.point.k),
           to_string(cell.point.start),
@@ -398,10 +408,10 @@ std::string Sweep::json_line(const SweepCell& cell) {
   for (std::size_t i = 0; i < header.size(); ++i) {
     if (i > 0) os << ',';
     os << '"' << header[i] << "\":";
-    // engine, start and bias_kind are enum spellings, everything else
-    // numeric.
-    if (header[i] == "engine" || header[i] == "start" ||
-        header[i] == "bias_kind") {
+    // engine, graph, start and bias_kind are name spellings, everything
+    // else numeric.
+    if (header[i] == "engine" || header[i] == "graph" ||
+        header[i] == "start" || header[i] == "bias_kind") {
       os << '"' << row[i] << '"';
     } else {
       os << row[i];

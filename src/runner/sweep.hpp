@@ -1,9 +1,17 @@
-// Grid sweeps over (engine, n, k, start, bias): the experiment driver
-// behind `kusd sweep`.
+// Grid sweeps over (engine, graph, n, k, start, bias): the experiment
+// driver behind `kusd sweep`.
 //
 // A Sweep expands a SweepSpec into the cartesian grid of its axes and runs
-// every grid point as a Monte-Carlo batch. Two execution modes share one
-// deterministic seed derivation (master_seed, point index, trial index):
+// every grid point as a Monte-Carlo batch. Engines are sim::Registry
+// names, resolved per trial through the registry — the sweep has no
+// per-engine dispatch of its own, so a newly registered engine is
+// sweepable with no changes here. The `graphs` axis applies to engines
+// that take a topology (EngineInfo::uses_graph_axis, i.e. "graph"); for
+// such engines the topology is constructed once per grid point from a
+// deterministic stream and shared read-only across the point's trials.
+//
+// Two execution modes share one deterministic seed derivation
+// (master_seed, point index, trial index):
 //
 //  * trial-parallel (default) — points run sequentially in grid order,
 //    the trials within a point striped over the worker pool. Right for
@@ -22,9 +30,10 @@
 // callback as soon as it is next in grid order, so output appears
 // incrementally during long sweeps instead of after them.
 //
-// The comparable metric across engines is *parallel time*: interactions/n
-// for the asynchronous engines (every/skip/batched) and rounds for the
-// synchronous ones (sync counts re-adoption sub-rounds too).
+// The comparable metric across engines is *parallel time*
+// (sim::Engine::parallel_time): interactions/n for the asynchronous
+// engines (every/skip/batched/graph) and rounds for the synchronous ones
+// (sync counts re-adoption sub-rounds too).
 #pragma once
 
 #include <cstdint>
@@ -35,19 +44,11 @@
 
 #include "core/batched_usd.hpp"
 #include "pp/configuration.hpp"
+#include "sim/graph_spec.hpp"
 #include "stats/summary.hpp"
 #include "util/thread_pool.hpp"
 
 namespace kusd::runner {
-
-/// Simulation engine axis of a sweep.
-enum class SweepEngine {
-  kEveryInteraction,  ///< UsdSimulator, exact, Θ(1) work per interaction
-  kSkipUnproductive,  ///< UsdSimulator with geometric unproductive skips
-  kBatchedRounds,     ///< BatchedUsdSimulator (chunked tau-leap, O(k)/chunk)
-  kSynchronized,      ///< SyncUsd round model (exact, O(k)/round)
-  kGossip,            ///< GossipUsd round model (exact, O(k)/round)
-};
 
 enum class BiasKind { kNone, kAdditive, kMultiplicative };
 
@@ -65,12 +66,9 @@ struct StartProfile {
   bool operator==(const StartProfile&) const = default;
 };
 
-[[nodiscard]] const char* to_string(SweepEngine engine);
 [[nodiscard]] const char* to_string(BiasKind kind);
 /// CLI spelling of a start profile: "uniform" or "geometric:<ratio>".
 [[nodiscard]] std::string to_string(const StartProfile& start);
-/// Parse the CLI spelling ("every", "skip", "batched", "sync", "gossip").
-[[nodiscard]] std::optional<SweepEngine> parse_engine(const std::string& name);
 /// Parse "uniform" or "geometric:<ratio>" (ratio required, in (0, 1]).
 [[nodiscard]] std::optional<StartProfile> parse_start_profile(
     const std::string& name);
@@ -85,16 +83,26 @@ struct SweepSpec {
   /// beta for kAdditive, alpha for kMultiplicative; ignored (single
   /// implicit point) for kNone.
   std::vector<double> bias_values = {0.0};
-  std::vector<SweepEngine> engines = {SweepEngine::kSkipUnproductive};
-  /// Fraction of agents starting undecided (kSynchronized requires 0).
+  /// sim::Registry engine names.
+  std::vector<std::string> engines = {"skip"};
+  /// Topology axis; multiplies only the engines that take a topology
+  /// (EngineInfo::uses_graph_axis) — other engines contribute a single
+  /// implicit point with "-" in the `graph` column.
+  std::vector<sim::GraphSpec> graphs = {sim::GraphSpec{}};
+  /// Fraction of agents starting undecided (sync requires 0).
   double undecided_fraction = 0.0;
+  /// Per-trial cap in the engine's native time unit; 0 picks each
+  /// engine's default budget. The defaults are tuned for complete-graph
+  /// dynamics — slow-mixing topologies (e.g. `--graph cycle`) need an
+  /// explicit, much larger budget to converge.
+  std::uint64_t max_time = 0;
   int trials = 25;
   std::uint64_t master_seed = 1;
   /// Worker threads (0 = hardware concurrency).
   std::size_t threads = 0;
-  /// Chunk fraction for kBatchedRounds (ChunkPolicy::kFixed).
+  /// Chunk fraction for the batched engine (ChunkPolicy::kFixed).
   double batch_chunk_fraction = core::BatchedOptions{}.chunk_fraction;
-  /// Chunk policy for kBatchedRounds.
+  /// Chunk policy for the batched engine.
   core::ChunkPolicy batch_policy = core::ChunkPolicy::kFixed;
   /// Stripe grid points (instead of trials within a point) over the pool;
   /// see the file comment. Output is identical either way.
@@ -105,7 +113,9 @@ struct SweepSpec {
 };
 
 struct SweepPoint {
-  SweepEngine engine;
+  std::string engine;
+  /// Topology of this point; nullopt for engines without a graph axis.
+  std::optional<sim::GraphSpec> graph;
   pp::Count n;
   int k;
   StartProfile start;
@@ -135,7 +145,8 @@ class Sweep {
 
   [[nodiscard]] const SweepSpec& spec() const { return spec_; }
 
-  /// The grid in output order: engine-major, then n, k, start, bias.
+  /// The grid in output order: engine-major, then graph, n, k, start,
+  /// bias.
   [[nodiscard]] std::vector<SweepPoint> grid() const;
 
   /// Run one grid point (trials in parallel) and aggregate it. The second

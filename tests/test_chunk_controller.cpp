@@ -154,6 +154,50 @@ TEST(ChunkController, ProposalsAreDeterministic) {
   }
 }
 
+TEST(ChunkController, TrendLookaheadShrinksBeforeATransition) {
+  // The PI-style satellite: on a trajectory whose tau bound is falling
+  // (a minority collapsing toward absorption), the smoothed controller
+  // must propose smaller chunks than a purely instantaneous one fed the
+  // same observations — it anticipates the next drop instead of reacting
+  // one chunk late.
+  const pp::Count n = 1'000'000;
+  ChunkOptions smoothed = adaptive_options();  // default trend_alpha
+  ChunkOptions instantaneous = adaptive_options();
+  instantaneous.adaptive.trend_alpha = 0.0;
+  ChunkController with_trend(smoothed, n), without_trend(instantaneous, n);
+  // Warm both controllers in the same flat state.
+  const std::vector<pp::Count> flat = {400000, 400000};
+  for (int i = 0; i < 64; ++i) {
+    (void)with_trend.propose(flat, 200000);
+    (void)without_trend.propose(flat, 200000);
+  }
+  // Minority collapsing by 2x per observation: the bound falls every
+  // step, so the EWMA trend turns negative and stays there.
+  bool anticipated = false;
+  for (pp::Count minority = 200000; minority >= 1000; minority /= 2) {
+    const std::vector<pp::Count> state = {n - 2 * minority, minority};
+    const std::uint64_t a = with_trend.propose(state, minority);
+    const std::uint64_t b = without_trend.propose(state, minority);
+    EXPECT_LE(a, b);
+    anticipated = anticipated || a < b;
+  }
+  EXPECT_TRUE(anticipated);
+}
+
+TEST(ChunkController, TrendIsInertInFlatRegimes) {
+  // A constant observation sequence has zero trend: the smoothed and
+  // instantaneous controllers must agree exactly, so the lookahead costs
+  // nothing where the PR-3 controller was already right.
+  const pp::Count n = 500000;
+  ChunkOptions instantaneous = adaptive_options();
+  instantaneous.adaptive.trend_alpha = 0.0;
+  ChunkController a(adaptive_options(), n), b(instantaneous, n);
+  const std::vector<pp::Count> flat = {150000, 150000};
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(a.propose(flat, 200000), b.propose(flat, 200000));
+  }
+}
+
 TEST(ChunkController, RejectsInvalidOptions) {
   const pp::Count n = 1000;
   EXPECT_THROW(ChunkController(ChunkOptions{.chunk_fraction = 0.0}, n),
@@ -172,6 +216,11 @@ TEST(ChunkController, RejectsInvalidOptions) {
   EXPECT_THROW(ChunkController(bad, n), util::CheckError);
   bad = adaptive_options();
   bad.adaptive.grow_factor = 1.0;
+  EXPECT_THROW(ChunkController(bad, n), util::CheckError);
+  bad = adaptive_options();
+  bad.adaptive.trend_alpha = 1.0;
+  EXPECT_THROW(ChunkController(bad, n), util::CheckError);
+  bad.adaptive.trend_alpha = -0.1;
   EXPECT_THROW(ChunkController(bad, n), util::CheckError);
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "runner/sweep.hpp"
+#include "sim/registry.hpp"
 #include "util/check.hpp"
 
 namespace kusd {
@@ -15,29 +16,41 @@ namespace {
 using runner::BiasKind;
 using runner::Sweep;
 using runner::SweepCell;
-using runner::SweepEngine;
 using runner::SweepSpec;
 
 SweepSpec tiny_spec() {
   SweepSpec spec;
   spec.ns = {300, 600};
   spec.ks = {2, 3};
-  spec.engines = {SweepEngine::kSkipUnproductive, SweepEngine::kGossip};
+  spec.engines = {"skip", "gossip"};
   spec.trials = 3;
   spec.master_seed = 42;
   spec.threads = 2;
   return spec;
 }
 
+/// Render header + streamed rows into one string (byte-identity witness).
+std::string render(const Sweep& sweep) {
+  std::string out;
+  for (const auto& col : Sweep::csv_header()) out += col + ",";
+  out += "\n";
+  sweep.run([&out](const SweepCell& cell) {
+    for (const auto& field : Sweep::csv_row(cell)) out += field + ",";
+    out += "\n";
+  });
+  return out;
+}
+
 TEST(Sweep, GridIsCartesianInEngineMajorOrder) {
   const Sweep sweep(tiny_spec());
   const auto grid = sweep.grid();
   ASSERT_EQ(grid.size(), 8u);  // 2 engines x 2 ns x 2 ks x 1 bias
-  EXPECT_EQ(grid[0].engine, SweepEngine::kSkipUnproductive);
+  EXPECT_EQ(grid[0].engine, "skip");
   EXPECT_EQ(grid[0].n, 300u);
   EXPECT_EQ(grid[0].k, 2);
+  EXPECT_FALSE(grid[0].graph.has_value());  // no topology axis for skip
   EXPECT_EQ(grid[3].k, 3);
-  EXPECT_EQ(grid[4].engine, SweepEngine::kGossip);
+  EXPECT_EQ(grid[4].engine, "gossip");
   for (std::size_t i = 0; i < grid.size(); ++i) {
     EXPECT_EQ(grid[i].index, i);
   }
@@ -87,7 +100,7 @@ TEST(Sweep, MultiplicativeBiasAxisDrivesPluralityWins) {
   SweepSpec spec;
   spec.ns = {2000};
   spec.ks = {4};
-  spec.engines = {SweepEngine::kSkipUnproductive};
+  spec.engines = {"skip"};
   spec.bias_kind = BiasKind::kMultiplicative;
   spec.bias_values = {8.0};  // overwhelming plurality
   spec.trials = 10;
@@ -102,8 +115,7 @@ TEST(Sweep, SynchronizedAndBatchedEnginesRun) {
   SweepSpec spec;
   spec.ns = {500};
   spec.ks = {2};
-  spec.engines = {SweepEngine::kSynchronized, SweepEngine::kBatchedRounds,
-                  SweepEngine::kEveryInteraction};
+  spec.engines = {"sync", "batched", "every"};
   spec.trials = 2;
   std::vector<SweepCell> cells;
   Sweep(spec).run([&cells](const SweepCell& cell) { cells.push_back(cell); });
@@ -111,13 +123,14 @@ TEST(Sweep, SynchronizedAndBatchedEnginesRun) {
   for (const auto& cell : cells) EXPECT_DOUBLE_EQ(cell.converged_rate, 1.0);
 }
 
-TEST(Sweep, JsonLineQuotesOnlyEnumFields) {
+TEST(Sweep, JsonLineQuotesOnlyNameFields) {
   const Sweep sweep(tiny_spec());
   const auto cell = sweep.run_point(sweep.grid()[0]);
   const std::string json = Sweep::json_line(cell);
   EXPECT_EQ(json.front(), '{');
   EXPECT_EQ(json.back(), '}');
   EXPECT_NE(json.find("\"engine\":\"skip\""), std::string::npos);
+  EXPECT_NE(json.find("\"graph\":\"-\""), std::string::npos);
   EXPECT_NE(json.find("\"bias_kind\":\"none\""), std::string::npos);
   EXPECT_NE(json.find("\"n\":300"), std::string::npos);
   EXPECT_EQ(json.find("\"n\":\"300\""), std::string::npos);
@@ -129,16 +142,6 @@ TEST(Sweep, PointParallelOutputIsByteIdenticalToSequential) {
   // count, with and without shuffled execution order.
   auto spec = tiny_spec();
   spec.threads = 1;
-  const auto render = [](const Sweep& sweep) {
-    std::string out;
-    for (const auto& col : Sweep::csv_header()) out += col + ",";
-    out += "\n";
-    sweep.run([&out](const SweepCell& cell) {
-      for (const auto& field : Sweep::csv_row(cell)) out += field + ",";
-      out += "\n";
-    });
-    return out;
-  };
   const std::string sequential = render(Sweep(spec));
   for (const std::size_t threads : {1u, 3u, 8u}) {
     spec.threads = threads;
@@ -168,7 +171,7 @@ TEST(Sweep, GeometricStartAxisExpandsTheGrid) {
   Sweep(spec).run([&cells](const SweepCell& cell) { cells.push_back(cell); });
   ASSERT_EQ(cells.size(), 16u);
   const auto row = Sweep::csv_row(cells[1]);
-  EXPECT_EQ(row[3], "geometric:0.5");
+  EXPECT_EQ(row[4], "geometric:0.5");
   const auto json = Sweep::json_line(cells[1]);
   EXPECT_NE(json.find("\"start\":\"geometric:0.5\""), std::string::npos);
 }
@@ -201,7 +204,7 @@ TEST(Sweep, BatchedChunkPolicyIsSweepable) {
   SweepSpec spec;
   spec.ns = {2000};
   spec.ks = {3};
-  spec.engines = {SweepEngine::kBatchedRounds};
+  spec.engines = {"batched"};
   spec.trials = 3;
   spec.batch_policy = core::ChunkPolicy::kAdaptive;
   std::vector<SweepCell> cells;
@@ -210,16 +213,113 @@ TEST(Sweep, BatchedChunkPolicyIsSweepable) {
   EXPECT_DOUBLE_EQ(cells[0].converged_rate, 1.0);
 }
 
-TEST(Sweep, EngineNamesRoundTrip) {
-  for (const auto engine :
-       {SweepEngine::kEveryInteraction, SweepEngine::kSkipUnproductive,
-        SweepEngine::kBatchedRounds, SweepEngine::kSynchronized,
-        SweepEngine::kGossip}) {
-    const auto parsed = runner::parse_engine(runner::to_string(engine));
-    ASSERT_TRUE(parsed.has_value());
-    EXPECT_EQ(*parsed, engine);
+TEST(Sweep, EveryRegisteredEngineIsSweepable) {
+  // The engine axis is the registry: every registered name must expand
+  // into grid points and run. (Engines with a start constraint get the
+  // default fully decided start, which every built-in accepts.)
+  SweepSpec spec;
+  spec.ns = {200};
+  spec.ks = {2};
+  spec.engines = sim::Registry::instance().names();
+  spec.trials = 2;
+  std::vector<SweepCell> cells;
+  Sweep(spec).run([&cells](const SweepCell& cell) { cells.push_back(cell); });
+  ASSERT_EQ(cells.size(), spec.engines.size());
+  for (const auto& cell : cells) {
+    EXPECT_DOUBLE_EQ(cell.converged_rate, 1.0) << cell.point.engine;
   }
-  EXPECT_FALSE(runner::parse_engine("warp-drive").has_value());
+}
+
+TEST(Sweep, GraphAxisMultipliesOnlyTopologyEngines) {
+  SweepSpec spec;
+  spec.ns = {120};
+  spec.ks = {2};
+  spec.engines = {"skip", "graph"};
+  spec.graphs = {sim::GraphSpec{},
+                 sim::GraphSpec{sim::GraphSpec::Kind::kCycle}};
+  spec.trials = 2;
+  const Sweep sweep(spec);
+  const auto grid = sweep.grid();
+  // skip contributes 1 point, graph 2 (one per topology).
+  ASSERT_EQ(grid.size(), 3u);
+  EXPECT_FALSE(grid[0].graph.has_value());
+  ASSERT_TRUE(grid[1].graph.has_value());
+  EXPECT_EQ(grid[1].graph->kind, sim::GraphSpec::Kind::kComplete);
+  ASSERT_TRUE(grid[2].graph.has_value());
+  EXPECT_EQ(grid[2].graph->kind, sim::GraphSpec::Kind::kCycle);
+
+  std::vector<SweepCell> cells;
+  sweep.run([&cells](const SweepCell& cell) { cells.push_back(cell); });
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(Sweep::csv_row(cells[0])[1], "-");
+  EXPECT_EQ(Sweep::csv_row(cells[1])[1], "complete");
+  EXPECT_EQ(Sweep::csv_row(cells[2])[1], "cycle");
+  EXPECT_NE(Sweep::json_line(cells[2]).find("\"graph\":\"cycle\""),
+            std::string::npos);
+  // Complete-topology and unrestricted runs converge well within the
+  // default budget; the cycle mixes slowly enough that only the schema
+  // (not convergence) is asserted for it.
+  EXPECT_DOUBLE_EQ(cells[0].converged_rate, 1.0);
+  EXPECT_DOUBLE_EQ(cells[1].converged_rate, 1.0);
+}
+
+TEST(Sweep, GraphSweepOutputIsByteIdenticalAcrossThreadCounts) {
+  // The acceptance bar for the --graph axis: topologies are constructed
+  // once per point from a deterministic stream, so CSV/JSONL bytes match
+  // across thread counts and parallelism modes — including the random
+  // topologies (regular, ER), whose construction must not depend on
+  // which worker builds them.
+  SweepSpec spec;
+  spec.ns = {120};
+  spec.ks = {2, 3};
+  spec.engines = {"graph"};
+  spec.graphs = {sim::GraphSpec{sim::GraphSpec::Kind::kCycle},
+                 sim::GraphSpec{sim::GraphSpec::Kind::kRegular, 4},
+                 sim::GraphSpec{sim::GraphSpec::Kind::kErdosRenyi, 4, 0.0}};
+  spec.trials = 3;
+  spec.master_seed = 7;
+  spec.threads = 1;
+  const std::string reference = render(Sweep(spec));
+  for (const std::size_t threads : {2u, 8u}) {
+    spec.threads = threads;
+    spec.point_parallelism = false;
+    EXPECT_EQ(render(Sweep(spec)), reference) << threads << " threads";
+    spec.point_parallelism = true;
+    EXPECT_EQ(render(Sweep(spec)), reference)
+        << threads << " threads, point-parallel";
+  }
+}
+
+TEST(Sweep, BudgetOverrideCapsAndUncapsTrials) {
+  // max_time = 0 uses each engine's default budget; an explicit budget
+  // replaces it — tiny budgets starve convergence, large ones let
+  // slow-mixing topologies (the cycle) finish where the complete-graph
+  // default cap cannot.
+  SweepSpec spec;
+  spec.ns = {64};
+  spec.ks = {2};
+  spec.engines = {"graph"};
+  spec.graphs = {sim::GraphSpec{sim::GraphSpec::Kind::kCycle}};
+  spec.trials = 3;
+  spec.max_time = 10;  // 10 interactions: nothing converges
+  std::vector<SweepCell> cells;
+  Sweep(spec).run([&cells](const SweepCell& cell) { cells.push_back(cell); });
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_DOUBLE_EQ(cells[0].converged_rate, 0.0);
+  EXPECT_LE(cells[0].parallel_time.mean(), 10.0 / 64.0);
+
+  spec.max_time = 100'000'000;  // far past the cycle's consensus time
+  cells.clear();
+  Sweep(spec).run([&cells](const SweepCell& cell) { cells.push_back(cell); });
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_DOUBLE_EQ(cells[0].converged_rate, 1.0);
+}
+
+TEST(Sweep, EngineNamesComeFromTheRegistry) {
+  for (const auto& name : sim::Registry::instance().names()) {
+    EXPECT_TRUE(sim::Registry::instance().contains(name));
+  }
+  EXPECT_FALSE(sim::Registry::instance().contains("warp-drive"));
 }
 
 TEST(Sweep, RejectsInvalidSpecs) {
@@ -230,20 +330,23 @@ TEST(Sweep, RejectsInvalidSpecs) {
   spec.engines.clear();
   EXPECT_THROW(Sweep{spec}, util::CheckError);
   spec = tiny_spec();
+  spec.engines = {"warp-drive"};  // not in the registry
+  EXPECT_THROW(Sweep{spec}, util::CheckError);
+  spec = tiny_spec();
   spec.undecided_fraction = 1.5;
   EXPECT_THROW(Sweep{spec}, util::CheckError);
   // Constraints that would otherwise only surface mid-grid fail upfront:
-  // per-interaction engines cap n below 2^32, sync needs a decided start,
-  // batched needs a valid chunk fraction.
+  // per-interaction engines cap n below 2^32 (registry metadata), sync
+  // needs a decided start, batched needs a valid chunk fraction.
   spec = tiny_spec();
   spec.ns = {300, std::uint64_t{1} << 33};
   EXPECT_THROW(Sweep{spec}, util::CheckError);
-  spec.engines = {SweepEngine::kBatchedRounds};
+  spec.engines = {"batched"};
   EXPECT_NO_THROW(Sweep{spec});  // batched has no 32-bit cap
   spec.batch_chunk_fraction = 2.0;
   EXPECT_THROW(Sweep{spec}, util::CheckError);
   spec = tiny_spec();
-  spec.engines = {SweepEngine::kSynchronized};
+  spec.engines = {"sync"};
   spec.undecided_fraction = 0.5;
   EXPECT_THROW(Sweep{spec}, util::CheckError);
   // Bias values are validated upfront too (UB casts otherwise).
@@ -277,6 +380,21 @@ TEST(Sweep, RejectsInvalidSpecs) {
   EXPECT_THROW(Sweep{spec}, util::CheckError);
   spec = tiny_spec();
   spec.starts.clear();
+  EXPECT_THROW(Sweep{spec}, util::CheckError);
+  // The graph axis needs a topology-taking engine and feasible specs.
+  spec = tiny_spec();
+  spec.graphs = {sim::GraphSpec{sim::GraphSpec::Kind::kCycle}};
+  EXPECT_THROW(Sweep{spec}, util::CheckError);  // skip/gossip take no graph
+  spec = tiny_spec();
+  spec.engines = {"graph"};
+  spec.graphs = {sim::GraphSpec{sim::GraphSpec::Kind::kRegular, 3}};
+  spec.ns = {301};  // n * d odd
+  EXPECT_THROW(Sweep{spec}, util::CheckError);
+  spec.ns = {300};
+  EXPECT_NO_THROW(Sweep{spec});
+  spec.graphs = {sim::GraphSpec{sim::GraphSpec::Kind::kErdosRenyi, 4, 1.5}};
+  EXPECT_THROW(Sweep{spec}, util::CheckError);
+  spec.graphs.clear();
   EXPECT_THROW(Sweep{spec}, util::CheckError);
 }
 

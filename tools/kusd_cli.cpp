@@ -34,26 +34,37 @@
 #include "runner/csv.hpp"
 #include "runner/sweep.hpp"
 #include "runner/table.hpp"
+#include "sim/registry.hpp"
 
 namespace {
 
 using namespace kusd;
 
 [[noreturn]] void usage(int exit_code = 2) {
+  // Engines come from the registry, so a newly registered engine shows up
+  // here without touching the CLI.
+  const std::string engines = sim::Registry::instance().names_joined();
   std::fprintf(
       exit_code == 0 ? stdout : stderr,
       "usage: kusd <run|sweep|trace|exact> [options]\n"
       "  common:  --n N --k K --undecided U --seed S\n"
       "  bias:    --bias none|additive|multiplicative [--beta B | --alpha A]\n"
+      "  engines: %s\n"
+      "  run:     --engine NAME [--graph SPEC]\n"
       "  sweep:   grid axes take comma lists (scientific notation ok):\n"
-      "           --n N1,N2,... --k K1,... --engine every|skip|batched|sync|gossip[,...]\n"
+      "           --n N1,N2,... --k K1,... --engine NAME[,...]\n"
+      "           --graph complete|cycle|regular:<d>|er:<p>|er:auto[,...]\n"
+      "             (topology axis; requires --engine graph)\n"
       "           --start uniform|geometric:<ratio>[,...]\n"
       "           [--beta B1,... | --alpha A1,...] --trials T --ufrac F\n"
+      "           --budget B (per-trial native-time cap; 0 = engine default,\n"
+      "             raise it for slow topologies like --graph cycle)\n"
       "           --threads W --chunk F --chunk-policy fixed|adaptive\n"
       "           --point-parallel 0|1 --shuffle-points 0|1\n"
       "           --out FILE.csv --json FILE.jsonl\n"
       "  trace:   --out FILE.csv\n"
-      "  exact:   --support x1,x2,...  (n <= ~20, small k)\n");
+      "  exact:   --support x1,x2,...  (n <= ~20, small k)\n",
+      engines.c_str());
   std::exit(exit_code);
 }
 
@@ -155,12 +166,40 @@ pp::Configuration build_config(const Args& args) {
 
 int cmd_run(const Args& args) {
   const auto x0 = build_config(args);
-  const auto result = core::run_usd(x0, args.get_u64("seed", 1));
+  core::RunOptions opts;
+  opts.engine = args.get_string("engine", "");
+  if (!opts.engine.empty() &&
+      !sim::Registry::instance().contains(opts.engine)) {
+    std::fprintf(stderr, "unknown engine '%s'\n", opts.engine.c_str());
+    usage();
+  }
+  const std::string graph_name = args.get_string("graph", "");
+  if (!graph_name.empty()) {
+    // Same contract as sweep: a --graph that no chosen engine reads is a
+    // mistaken experiment, not a default to ignore silently.
+    const auto* info = opts.engine.empty()
+                           ? nullptr
+                           : sim::Registry::instance().find(opts.engine);
+    if (info == nullptr || !info->uses_graph_axis) {
+      std::fprintf(stderr, "--graph requires --engine graph\n");
+      usage();
+    }
+    const auto graph = sim::parse_graph_spec(graph_name);
+    if (!graph) {
+      std::fprintf(stderr,
+                   "bad graph spec '%s' (want complete, cycle, "
+                   "regular:<d>, er:<p> or er:auto)\n",
+                   graph_name.c_str());
+      usage();
+    }
+    opts.graph = *graph;
+  }
+  const auto result = core::run_usd(x0, args.get_u64("seed", 1), opts);
   if (!result.converged) {
-    std::printf("no consensus within the interaction cap\n");
+    std::printf("no consensus within the time cap\n");
     return 1;
   }
-  std::printf("consensus on opinion %d after %llu interactions "
+  std::printf("consensus on opinion %d after %llu native time units "
               "(parallel time %.1f)\n",
               result.winner,
               static_cast<unsigned long long>(result.interactions),
@@ -229,10 +268,10 @@ int cmd_sweep(const Args& args) {
   const std::string bias_kind = args.get_string("bias", "none");
   for (const auto& [key, value] : args.options) {
     static const std::set<std::string> known = {
-        "n",      "k",     "engine", "bias",    "beta", "alpha",
-        "undecided", "ufrac", "trials", "seed", "threads", "chunk",
-        "chunk-policy", "start", "point-parallel", "shuffle-points",
-        "out",    "json"};
+        "n",      "k",     "engine", "graph",   "bias", "beta", "alpha",
+        "undecided", "ufrac", "budget", "trials", "seed", "threads",
+        "chunk", "chunk-policy", "start", "point-parallel",
+        "shuffle-points", "out",    "json"};
     if (known.count(key) == 0) {
       std::fprintf(stderr, "unknown sweep option --%s\n", key.c_str());
       usage();
@@ -269,14 +308,39 @@ int cmd_sweep(const Args& args) {
     usage();
   }
 
+  const auto& registry = sim::Registry::instance();
   spec.engines.clear();
+  bool any_graph_engine = false;
   for (const auto& name : split_list(args.get_string("engine", "skip"))) {
-    const auto engine = runner::parse_engine(name);
-    if (!engine) {
-      std::fprintf(stderr, "unknown engine '%s'\n", name.c_str());
+    const sim::EngineInfo* info = registry.find(name);
+    if (info == nullptr) {
+      std::fprintf(stderr, "unknown engine '%s' (registered: %s)\n",
+                   name.c_str(), registry.names_joined().c_str());
       usage();
     }
-    spec.engines.push_back(*engine);
+    any_graph_engine = any_graph_engine || info->uses_graph_axis;
+    spec.engines.push_back(name);
+  }
+  if (spec.engines.empty()) usage();
+
+  if (args.options.count("graph") != 0) {
+    if (!any_graph_engine) {
+      std::fprintf(stderr, "--graph requires --engine graph\n");
+      usage();
+    }
+    spec.graphs.clear();
+    for (const auto& name : split_list(args.get_string("graph", ""))) {
+      const auto graph = sim::parse_graph_spec(name);
+      if (!graph) {
+        std::fprintf(stderr,
+                     "bad graph spec '%s' (want complete, cycle, "
+                     "regular:<d>, er:<p> or er:auto)\n",
+                     name.c_str());
+        usage();
+      }
+      spec.graphs.push_back(*graph);
+    }
+    if (spec.graphs.empty()) usage();
   }
 
   spec.starts.clear();
@@ -293,6 +357,17 @@ int cmd_sweep(const Args& args) {
   }
   if (spec.starts.empty()) usage();
 
+  {
+    // Budgets are as large as populations; accept scientific notation
+    // with the same exact-integer rule as the count axes.
+    const double budget = args.get_double("budget", 0.0);
+    if (!(budget >= 0.0 && budget <= 9007199254740992.0) ||
+        budget != std::floor(budget)) {
+      std::fprintf(stderr, "--budget out of range or not an integer\n");
+      usage();
+    }
+    spec.max_time = static_cast<std::uint64_t>(budget);
+  }
   spec.undecided_fraction = args.get_double("ufrac", 0.0);
   // --undecided (absolute count, shared with `run`) is honored for
   // single-n sweeps; a count is ambiguous across an n grid.
@@ -371,8 +446,12 @@ int cmd_sweep(const Args& args) {
     ++cells;
     // Live progress on stderr; the aligned table needs all rows for its
     // column widths and is printed to stdout at the end.
-    std::fprintf(stderr, "[%zu/%zu] %s n=%llu k=%d done in %.2fs\n", cells,
-                 total, runner::to_string(cell.point.engine),
+    std::fprintf(stderr, "[%zu/%zu] %s%s%s n=%llu k=%d done in %.2fs\n",
+                 cells, total, cell.point.engine.c_str(),
+                 cell.point.graph.has_value() ? " " : "",
+                 cell.point.graph.has_value()
+                     ? sim::to_string(*cell.point.graph).c_str()
+                     : "",
                  static_cast<unsigned long long>(cell.point.n), cell.point.k,
                  cell.wall_seconds);
   });
