@@ -1,0 +1,208 @@
+// E17 — degree-aggregated graph engine: fidelity at overlap scale,
+// throughput at n = 1e8.
+//
+// The per-interaction "graph" engine is the quenched reference but stores
+// O(n) vertex states and advances one edge per step; "graph-batched"
+// collapses the topology to degree classes and tau-leaps whole chunks.
+// This bench records both halves of that trade:
+//
+//  * Fidelity (overlap scale, shared topology per engine pair):
+//    KS of consensus-time distributions on `complete` (where the annealed
+//    model is exact) and `regular:64` (dense mean-field regime), plus the
+//    measured mean-time ratio on `regular:8`, where the documented
+//    O(1/d) mean-field bias is visible (the aggregated chain is faster —
+//    no local opinion clustering).
+//  * Throughput: wall-clock of a full sweep point at n = 1e8 (k = 8,
+//    regular:8, adaptive chunks) — the ISSUE-5 acceptance point, which
+//    the materialized engine cannot even allocate — and the
+//    per-interaction vs aggregated wall ratio at the overlap scale.
+//
+// Results go to BENCH_graph_batched.json (checked in at full scale at the
+// repo root; CI uploads the REPRO_SCALE=0.05 smoke copy as an artifact).
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "rng/rng.hpp"
+#include "runner/sweep.hpp"
+#include "sim/graph_spec.hpp"
+#include "sim/registry.hpp"
+#include "stats/summary.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace kusd;
+
+namespace {
+
+struct OverlapResult {
+  stats::Samples graph_times;
+  stats::Samples aggregated_times;
+  double graph_wall_s = 0.0;
+  double aggregated_wall_s = 0.0;
+};
+
+/// Run `trials` of both engines on one shared realization of `spec_name`,
+/// mirroring the sweep's topology-sharing discipline (the materialized
+/// graph for "graph", the degree-class model for "graph-batched").
+OverlapResult run_overlap(pp::Count n, int k, const sim::GraphSpec& graph,
+                          int trials, std::uint64_t seed_base) {
+  const auto x0 = pp::Configuration::uniform(n, k, 0);
+  OverlapResult out;
+
+  rng::Rng graph_rng(rng::stream_seed(seed_base, sim::kTopologyStream));
+  const auto topology = sim::build_graph(graph, n, graph_rng);
+  sim::EngineOptions graph_options;
+  graph_options.graph = graph;
+  graph_options.shared_graph = &topology;
+
+  rng::Rng degrees_rng(rng::stream_seed(seed_base + 1, sim::kTopologyStream));
+  const auto degrees = sim::degree_class_model(graph, n, degrees_rng);
+  sim::EngineOptions aggregated_options;
+  aggregated_options.graph = graph;
+  aggregated_options.shared_degrees = &degrees;
+
+  {
+    util::Stopwatch watch;
+    for (int t = 0; t < trials; ++t) {
+      const auto engine = sim::Registry::instance().create(
+          "graph", x0,
+          rng::stream_seed(seed_base, static_cast<std::uint64_t>(t)),
+          graph_options);
+      (void)engine->run_to_consensus(engine->default_budget());
+      out.graph_times.add(engine->parallel_time());
+    }
+    out.graph_wall_s = watch.seconds();
+  }
+  {
+    util::Stopwatch watch;
+    for (int t = 0; t < trials; ++t) {
+      const auto engine = sim::Registry::instance().create(
+          "graph-batched", x0,
+          rng::stream_seed(seed_base + 1, static_cast<std::uint64_t>(t)),
+          aggregated_options);
+      (void)engine->run_to_consensus(engine->default_budget());
+      out.aggregated_times.add(engine->parallel_time());
+    }
+    out.aggregated_wall_s = watch.seconds();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E17", "degree-aggregated graph engine (graph-batched)",
+                "Distributional agreement with the per-interaction graph "
+                "engine at overlap scale; wall-clock of an n = 1e8 "
+                "regular:8 sweep point the materialized engine cannot "
+                "allocate.");
+
+  const pp::Count overlap_n = runner::scaled(20000, 500);
+  const int overlap_trials = runner::scaled_trials(100, 6);
+  const int overlap_k = 4;
+
+  bench::JsonResult json;
+  json.add_string("bench", "bench_graph_batched");
+  json.add("repro_scale", runner::repro_scale());
+  json.add("overlap_n", overlap_n);
+  json.add("overlap_k", overlap_k);
+  json.add("overlap_trials", overlap_trials);
+
+  runner::Table table({"topology", "engine", "trials", "pt_mean", "wall_s",
+                       "ks", "ks_threshold"});
+
+  // --- Fidelity: complete (exact) and regular:64 (dense mean field) ---
+  for (const auto& [name, graph] : {
+           std::pair<const char*, sim::GraphSpec>{
+               "complete", sim::GraphSpec{}},
+           std::pair<const char*, sim::GraphSpec>{
+               "regular:64",
+               sim::GraphSpec{sim::GraphSpec::Kind::kRegular, 64}},
+       }) {
+    const auto result = run_overlap(overlap_n, overlap_k, graph,
+                                    overlap_trials, 0xE17);
+    const double ks = stats::ks_statistic(result.graph_times.values(),
+                                          result.aggregated_times.values());
+    const double threshold =
+        stats::ks_threshold(result.graph_times.count(),
+                            result.aggregated_times.count(), 0.001);
+    table.add_row({name, "graph", std::to_string(overlap_trials),
+                   runner::fmt(result.graph_times.mean(), 2),
+                   runner::fmt(result.graph_wall_s, 2), runner::fmt(ks, 4),
+                   runner::fmt(threshold, 4)});
+    table.add_row({name, "graph-batched", std::to_string(overlap_trials),
+                   runner::fmt(result.aggregated_times.mean(), 2),
+                   runner::fmt(result.aggregated_wall_s, 2), "", ""});
+    const std::string key = std::string(name) == "complete"
+                                ? "complete"
+                                : "regular64";
+    json.add("ks_" + key, ks);
+    json.add("ks_threshold_" + key, threshold);
+    json.add("graph_wall_s_" + key, result.graph_wall_s);
+    json.add("aggregated_wall_s_" + key, result.aggregated_wall_s);
+    json.add("wall_ratio_" + key,
+             result.aggregated_wall_s > 0.0
+                 ? result.graph_wall_s / result.aggregated_wall_s
+                 : 0.0);
+  }
+
+  // --- The documented sparse-regime bias: regular:8 mean-time ratio ---
+  {
+    const auto result = run_overlap(
+        overlap_n, overlap_k, sim::GraphSpec{sim::GraphSpec::Kind::kRegular, 8},
+        overlap_trials, 0xE17 + 100);
+    table.add_row({"regular:8", "graph", std::to_string(overlap_trials),
+                   runner::fmt(result.graph_times.mean(), 2),
+                   runner::fmt(result.graph_wall_s, 2), "", ""});
+    table.add_row({"regular:8", "graph-batched",
+                   std::to_string(overlap_trials),
+                   runner::fmt(result.aggregated_times.mean(), 2),
+                   runner::fmt(result.aggregated_wall_s, 2), "", ""});
+    // < 1: the annealed mean field is optimistic at low degree (O(1/d)
+    // bias, see batched_graph_engine.hpp).
+    json.add("mean_time_ratio_regular8",
+             result.graph_times.mean() > 0.0
+                 ? result.aggregated_times.mean() / result.graph_times.mean()
+                 : 0.0);
+    json.add("graph_wall_s_regular8", result.graph_wall_s);
+    json.add("aggregated_wall_s_regular8", result.aggregated_wall_s);
+  }
+
+  // --- Throughput: the n = 1e8 sweep point (ISSUE-5 acceptance) ---
+  {
+    runner::SweepSpec spec;
+    spec.ns = {runner::scaled(100'000'000, 10'000)};
+    spec.ks = {8};
+    spec.engines = {"graph-batched"};
+    spec.graphs = {sim::GraphSpec{sim::GraphSpec::Kind::kRegular, 8}};
+    spec.trials = runner::scaled_trials(5, 2);
+    spec.master_seed = 0xE17;
+    spec.batch_policy = core::ChunkPolicy::kAdaptive;
+    util::Stopwatch watch;
+    std::vector<runner::SweepCell> cells;
+    runner::Sweep(spec).run(
+        [&cells](const runner::SweepCell& cell) { cells.push_back(cell); });
+    const double wall = watch.seconds();
+    const auto& cell = cells.front();
+    table.add_row({"regular:8 (scale)", "graph-batched",
+                   std::to_string(spec.trials),
+                   runner::fmt(cell.parallel_time.mean(), 2),
+                   runner::fmt(wall, 3), "", ""});
+    json.add("scale_n", spec.ns.front());
+    json.add("scale_k", 8);
+    json.add("scale_trials", spec.trials);
+    json.add("scale_wall_seconds", wall);
+    json.add("scale_pt_mean", cell.parallel_time.mean());
+    json.add("scale_converged_rate", cell.converged_rate);
+    json.add("scale_graph_edges", cell.graph_edges.value_or(0));
+    json.add_bool("scale_connected", cell.connected.value_or(false));
+    std::printf("\nn = %llu sweep point (%d trials, adaptive chunks): "
+                "%.3f s wall\n",
+                static_cast<unsigned long long>(spec.ns.front()), spec.trials,
+                wall);
+  }
+
+  table.print();
+  return json.write("BENCH_graph_batched.json") ? 0 : 1;
+}

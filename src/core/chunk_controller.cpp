@@ -70,24 +70,81 @@ std::uint64_t ChunkController::propose(std::span<const pp::Count> opinions,
     if (count == 0) continue;
     const double xj = static_cast<double>(count);
     sum_sq += xj * xj;
-    const double gain = du * xj * inv_n2;
-    const double loss = xj * (dd - xj) * inv_n2;
-    const double band = std::max(tol * xj, 1.0);
-    const double drift = std::abs(gain - loss);
-    if (drift > 0.0) bound = std::min(bound, band / drift);
-    const double sigma2 = gain + loss;
-    if (sigma2 > 0.0) bound = std::min(bound, band * band / sigma2);
+    apply_band(xj, du * xj * inv_n2, xj * (dd - xj) * inv_n2, tol, bound);
   }
-  {
-    const double gain = (dd * dd - sum_sq) * inv_n2;
-    const double loss = du * dd * inv_n2;
-    const double band = std::max(tol * du, 1.0);
-    const double drift = std::abs(gain - loss);
-    if (drift > 0.0) bound = std::min(bound, band / drift);
-    const double sigma2 = gain + loss;
-    if (sigma2 > 0.0) bound = std::min(bound, band * band / sigma2);
-  }
+  apply_band(du, (dd * dd - sum_sq) * inv_n2, du * dd * inv_n2, tol, bound);
+  return finalize_bound(bound);
+}
 
+std::uint64_t ChunkController::propose_classes(
+    std::span<const pp::Count> opinions, std::span<const pp::Count> undecided,
+    std::span<const double> weights) {
+  if (options_.policy == ChunkPolicy::kFixed) return fixed_chunk_;
+  const std::size_t classes = undecided.size();
+  KUSD_DCHECK(classes >= 1 && weights.size() == classes &&
+              opinions.size() % classes == 0);
+  const std::size_t k = opinions.size() / classes;
+
+  // Degree-weighted totals of the annealed chain: the rates below MUST
+  // mirror RoundEngine::try_async_class_chunk (in units of probability
+  // per interaction after dividing by W^2) — a divergence silently
+  // detunes the error control.
+  if (weighted_scratch_.size() < k) weighted_scratch_.resize(k);
+  double weighted_undecided = 0.0;
+  for (std::size_t j = 0; j < k; ++j) weighted_scratch_[j] = 0.0;
+  for (std::size_t c = 0; c < classes; ++c) {
+    weighted_undecided += weights[c] * static_cast<double>(undecided[c]);
+    for (std::size_t j = 0; j < k; ++j) {
+      weighted_scratch_[j] +=
+          weights[c] * static_cast<double>(opinions[c * k + j]);
+    }
+  }
+  double weighted_decided = 0.0;
+  for (std::size_t j = 0; j < k; ++j) weighted_decided += weighted_scratch_[j];
+  const double total_weight = weighted_undecided + weighted_decided;
+  if (total_weight <= 0.0) return finalize_bound(1.0);
+  const double inv_w2 = 1.0 / (total_weight * total_weight);
+  const double tol = options_.adaptive.drift_tolerance;
+
+  double bound = static_cast<double>(max_chunk_);
+  for (std::size_t c = 0; c < classes; ++c) {
+    const double wc = weights[c];
+    for (std::size_t j = 0; j < k; ++j) {
+      const pp::Count count = opinions[c * k + j];
+      if (count == 0) continue;
+      const double xcj = static_cast<double>(count);
+      const double gain =
+          wc * static_cast<double>(undecided[c]) * weighted_scratch_[j] *
+          inv_w2;
+      const double loss =
+          wc * xcj * (weighted_decided - weighted_scratch_[j]) * inv_w2;
+      apply_band(xcj, gain, loss, tol, bound);
+    }
+  }
+  for (std::size_t c = 0; c < classes; ++c) {
+    const double wc = weights[c];
+    const double uc = static_cast<double>(undecided[c]);
+    double flips = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      flips += static_cast<double>(opinions[c * k + j]) *
+               (weighted_decided - weighted_scratch_[j]);
+    }
+    apply_band(uc, wc * flips * inv_w2, wc * uc * weighted_decided * inv_w2,
+               tol, bound);
+  }
+  return finalize_bound(bound);
+}
+
+void ChunkController::apply_band(double count, double gain, double loss,
+                                 double tol, double& bound) {
+  const double band = std::max(tol * count, 1.0);
+  const double drift = std::abs(gain - loss);
+  if (drift > 0.0) bound = std::min(bound, band / drift);
+  const double sigma2 = gain + loss;
+  if (sigma2 > 0.0) bound = std::min(bound, band * band / sigma2);
+}
+
+std::uint64_t ChunkController::finalize_bound(double bound) {
   // PI-style lookahead: smooth the bound's step-to-step change with an
   // EWMA and, while the bound is falling, pre-shrink by the predicted
   // next-step drop. Anticipation only tightens (a rising trend never

@@ -35,6 +35,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "pp/configuration.hpp"
 
@@ -103,6 +104,18 @@ class ChunkController {
   [[nodiscard]] std::uint64_t propose(std::span<const pp::Count> opinions,
                                       pp::Count undecided);
 
+  /// The class-structured analogue of propose() for the annealed
+  /// degree-weighted chain (RoundEngine::try_async_class_chunk):
+  /// `opinions` is class-major (class c, opinion j at c * k + j),
+  /// `undecided` per class, `weights[c]` the per-member sampling weight of
+  /// class c. Same tau-selection band — every per-class count's predicted
+  /// drift and fluctuation stay within the tolerance — and the same
+  /// trend/growth schedule, in O(classes * k). With one class of weight 1
+  /// it computes exactly propose()'s bound.
+  [[nodiscard]] std::uint64_t propose_classes(
+      std::span<const pp::Count> opinions, std::span<const pp::Count> undecided,
+      std::span<const double> weights);
+
   /// Feedback from the simulator: the last chunk overshot a count and was
   /// rejected by the frozen-rate draw. Shrinks the adaptive baseline so
   /// the next proposal starts from the halved length. No-op under kFixed.
@@ -114,6 +127,15 @@ class ChunkController {
   [[nodiscard]] std::uint64_t max_chunk() const { return max_chunk_; }
 
  private:
+  /// Shared tail of the adaptive policies: trend lookahead, clamping to
+  /// [min_chunk, max_chunk] and the geometric growth limit applied to a
+  /// raw tau bound.
+  [[nodiscard]] std::uint64_t finalize_bound(double raw_bound);
+  /// Tighten `bound` so drift and fluctuation of a count with the given
+  /// per-interaction gain/loss rates stay inside the tolerance band.
+  static void apply_band(double count, double gain, double loss, double tol,
+                         double& bound);
+
   ChunkOptions options_;
   pp::Count n_;
   std::uint64_t min_chunk_ = 1;
@@ -127,6 +149,8 @@ class ChunkController {
   double trend_ = 0.0;
   double previous_raw_bound_ = 0.0;
   bool has_previous_raw_bound_ = false;
+  /// Scratch of propose_classes: k degree-weighted opinion totals.
+  std::vector<double> weighted_scratch_;
 };
 
 }  // namespace kusd::core

@@ -4,9 +4,13 @@
 
 namespace kusd::core {
 
-RoundEngine::RoundEngine(int k) : k_(k) {
+RoundEngine::RoundEngine(int k, int classes) : k_(k), classes_(classes) {
   KUSD_CHECK_MSG(k >= 1, "round engine needs at least one opinion");
-  weights_.resize(2 * static_cast<std::size_t>(k) + 1);
+  KUSD_CHECK_MSG(classes >= 1, "round engine needs at least one class");
+  weights_.resize(2 * static_cast<std::size_t>(k) *
+                      static_cast<std::size_t>(classes) +
+                  1);
+  weighted_counts_.resize(static_cast<std::size_t>(k));
 }
 
 pp::Count RoundEngine::decided_step(std::span<const pp::Count> opinions,
@@ -106,6 +110,97 @@ bool RoundEngine::try_async_chunk(std::span<pp::Count> opinions,
   }
   undecided += flipped;
   undecided -= adopted;
+  return true;
+}
+
+bool RoundEngine::try_async_class_chunk(std::span<pp::Count> opinions,
+                                        std::span<pp::Count> undecided,
+                                        std::span<const double> weights,
+                                        std::uint64_t m, rng::Rng& rng) {
+  const std::size_t k = static_cast<std::size_t>(k_);
+  const std::size_t classes = static_cast<std::size_t>(classes_);
+  KUSD_DCHECK(opinions.size() == k * classes);
+  KUSD_DCHECK(undecided.size() == classes && weights.size() == classes);
+
+  // Degree-weighted totals: X_j^w = sum_c w_c x_{c,j}, U^w = sum_c w_c u_c,
+  // W = U^w + sum_j X_j^w. Endpoints are independently weight-proportional,
+  // so event weights live in units of W^2 * probability. NOTE: any change
+  // to these rates must be mirrored in ChunkController::propose_classes,
+  // whose tau bound is derived from exactly this model (as propose() is
+  // from try_async_chunk's).
+  double weighted_undecided = 0.0;
+  double total_weight = 0.0;
+  for (std::size_t j = 0; j < k; ++j) weighted_counts_[j] = 0.0;
+  for (std::size_t c = 0; c < classes; ++c) {
+    weighted_undecided += weights[c] * static_cast<double>(undecided[c]);
+    for (std::size_t j = 0; j < k; ++j) {
+      weighted_counts_[j] +=
+          weights[c] * static_cast<double>(opinions[c * k + j]);
+    }
+  }
+  double weighted_decided = 0.0;
+  for (std::size_t j = 0; j < k; ++j) weighted_decided += weighted_counts_[j];
+  total_weight = weighted_undecided + weighted_decided;
+  if (total_weight <= 0.0) return false;  // no interacting vertices at all
+
+  // Event families, mirroring try_async_chunk's layout per class block:
+  // adopt(c, j) at [c*k + j], flip(c, j) at [classes*k + c*k + j], no-op
+  // last. adopt(c, j): responder (c, undecided) meets initiator of opinion
+  // j; flip(c, j): responder (c, j) meets a differently-decided initiator.
+  const std::size_t adopt0 = 0;
+  const std::size_t flip0 = classes * k;
+  double productive = 0.0;
+  for (std::size_t c = 0; c < classes; ++c) {
+    const double wc = weights[c];
+    const double uc = static_cast<double>(undecided[c]);
+    for (std::size_t j = 0; j < k; ++j) {
+      const double xcj = static_cast<double>(opinions[c * k + j]);
+      weights_[adopt0 + c * k + j] = wc * uc * weighted_counts_[j];
+      weights_[flip0 + c * k + j] =
+          wc * xcj * (weighted_decided - weighted_counts_[j]);
+      productive +=
+          weights_[adopt0 + c * k + j] + weights_[flip0 + c * k + j];
+    }
+  }
+  weights_[2 * classes * k] =
+      std::max(0.0, total_weight * total_weight - productive);  // no-op
+  const auto events = rng.multinomial(
+      m, std::span<const double>(weights_.data(), 2 * classes * k + 1));
+
+  // Validate before committing, exactly as in the unstructured chunk: a
+  // frozen-rate draw can overshoot a per-class count.
+  std::uint64_t total_adopted = 0, total_flipped = 0;
+  std::uint64_t total_decided = 0;
+  for (std::size_t c = 0; c < classes; ++c) {
+    std::uint64_t adopted_c = 0, flipped_c = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (opinions[c * k + j] + events[adopt0 + c * k + j] <
+          events[flip0 + c * k + j]) {
+        return false;
+      }
+      adopted_c += events[adopt0 + c * k + j];
+      flipped_c += events[flip0 + c * k + j];
+      total_decided += opinions[c * k + j];
+    }
+    if (undecided[c] + flipped_c < adopted_c) return false;
+    total_adopted += adopted_c;
+    total_flipped += flipped_c;
+  }
+  // The exact chain preserves decided >= 1 globally (a flip needs a
+  // differently-decided initiator); reject a draw that would leave the
+  // absorbing all-undecided state.
+  if (total_decided + total_adopted == total_flipped) return false;
+  for (std::size_t c = 0; c < classes; ++c) {
+    std::uint64_t adopted_c = 0, flipped_c = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      opinions[c * k + j] += events[adopt0 + c * k + j];
+      opinions[c * k + j] -= events[flip0 + c * k + j];
+      adopted_c += events[adopt0 + c * k + j];
+      flipped_c += events[flip0 + c * k + j];
+    }
+    undecided[c] += flipped_c;
+    undecided[c] -= adopted_c;
+  }
   return true;
 }
 

@@ -12,6 +12,12 @@
 //    asynchronous chain: m interactions advanced with the transition rates
 //    frozen at the current configuration. Exact in the limit m -> 1 and a
 //    documented approximation for m > 1 (see BatchedUsdSimulator).
+//  * try_async_class_chunk — the same tau-leap generalized to a population
+//    partitioned into weighted degree classes (the annealed scheduler of
+//    sim::BatchedGraphEngine): interaction endpoints are sampled with
+//    probability proportional to per-member class weight instead of
+//    uniformly. With one class of weight 1 its event layout and rates
+//    reduce exactly to try_async_chunk.
 //
 // The engine owns only scratch buffers; all population state is the
 // caller's. Methods are deterministic given the caller's Rng.
@@ -28,11 +34,13 @@ namespace kusd::core {
 
 class RoundEngine {
  public:
-  /// `k` is the number of decided opinions (scratch is sized for k+1
-  /// partner states and 2k+1 async event families).
-  explicit RoundEngine(int k);
+  /// `k` is the number of decided opinions, `classes` the number of degree
+  /// classes the population is partitioned into (1 = the unstructured
+  /// chain; scratch is sized for 2 * k * classes + 1 async event families).
+  explicit RoundEngine(int k, int classes = 1);
 
   [[nodiscard]] int k() const { return k_; }
+  [[nodiscard]] int classes() const { return classes_; }
 
   /// One synchronous USD half-round over the decided agents: every agent of
   /// opinion i samples a partner from the distribution (opinions...,
@@ -65,9 +73,30 @@ class RoundEngine {
   bool try_async_chunk(std::span<pp::Count> opinions, pp::Count& undecided,
                        pp::Count n, std::uint64_t m, rng::Rng& rng);
 
+  /// Class-structured tau-leap: advance `m` interactions of the annealed
+  /// degree-weighted chain in one multinomial draw with rates frozen at
+  /// the current configuration. The population is partitioned into
+  /// `classes()` classes; `opinions` holds the class-major decided counts
+  /// (class c, opinion j at index c * k + j), `undecided` the per-class
+  /// undecided counts, and `weights[c]` the per-member sampling weight
+  /// (degree) of class c. Per interaction, responder and initiator are
+  /// independently weight-proportional; only the responder transitions
+  /// (adopt / flip), exactly as in the unstructured chain. Applies the
+  /// aggregate deltas and returns true; returns false without modifying
+  /// the state when the frozen-rate draw would drive a count negative or
+  /// leave zero decided agents (the caller retries with a smaller m —
+  /// m == 1 always succeeds). With one class of weight 1 this is
+  /// try_async_chunk's event layout and rates verbatim.
+  bool try_async_class_chunk(std::span<pp::Count> opinions,
+                             std::span<pp::Count> undecided,
+                             std::span<const double> weights, std::uint64_t m,
+                             rng::Rng& rng);
+
  private:
   int k_;
-  std::vector<double> weights_;  // scratch: up to 2k+1 event weights
+  int classes_;
+  std::vector<double> weights_;  // scratch: up to 2*k*classes+1 event weights
+  std::vector<double> weighted_counts_;  // scratch: k degree-weighted counts
 };
 
 }  // namespace kusd::core

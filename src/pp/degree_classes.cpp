@@ -1,0 +1,121 @@
+#include "pp/degree_classes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "pp/graph.hpp"
+#include "util/check.hpp"
+
+namespace kusd::pp {
+
+DegreeClassModel::DegreeClassModel(std::vector<DegreeClass> classes)
+    : classes_(std::move(classes)) {
+  Count total = 0;
+  for (const auto& c : classes_) {
+    KUSD_CHECK_MSG(c.degree >= 0.0 && std::isfinite(c.degree),
+                   "degree classes need a finite, non-negative degree");
+    total += c.size;
+  }
+  KUSD_CHECK_MSG(total >= 1, "a degree-class model needs at least one vertex");
+}
+
+DegreeClassModel DegreeClassModel::regular(Count n, double degree) {
+  KUSD_CHECK_MSG(n >= 2, "a topology needs at least two vertices");
+  KUSD_CHECK_MSG(degree > 0.0, "a regular class needs a positive degree");
+  return DegreeClassModel({DegreeClass{degree, n}});
+}
+
+DegreeClassModel DegreeClassModel::binomial(Count n, double p, int max_classes,
+                                            rng::Rng& rng) {
+  KUSD_CHECK_MSG(n >= 2, "a topology needs at least two vertices");
+  KUSD_CHECK_MSG(p > 0.0 && p <= 1.0, "edge probability out of range");
+  KUSD_CHECK_MSG(max_classes >= 1, "need at least one degree class");
+  const double trials = static_cast<double>(n - 1);
+  if (p == 1.0) return regular(n, trials);
+
+  // Support window of Binomial(n-1, p): +-8 sigma around the mean covers
+  // all but ~1e-15 of the mass, so truncating there never starves the
+  // multinomial below.
+  const double mean = trials * p;
+  const double sigma = std::sqrt(trials * p * (1.0 - p));
+  const auto lo = static_cast<std::uint64_t>(
+      std::max(0.0, std::floor(mean - 8.0 * sigma)));
+  const auto hi = static_cast<std::uint64_t>(
+      std::min(trials, std::ceil(mean + 8.0 * sigma)));
+  const std::uint64_t support = hi - lo + 1;
+  const auto buckets = static_cast<std::uint64_t>(
+      std::min<std::uint64_t>(support, static_cast<std::uint64_t>(max_classes)));
+
+  // Per-bucket pmf mass and pmf-weighted mean degree, via the log-pmf
+  // (stable for the huge n the aggregated engine exists for).
+  const double log_p = std::log(p);
+  const double log_q = std::log1p(-p);
+  const double lg_np1 = std::lgamma(trials + 1.0);
+  std::vector<double> mass(buckets, 0.0);
+  std::vector<double> mean_degree(buckets, 0.0);
+  for (std::uint64_t d = lo; d <= hi; ++d) {
+    const double dd = static_cast<double>(d);
+    const double log_pmf = lg_np1 - std::lgamma(dd + 1.0) -
+                           std::lgamma(trials - dd + 1.0) + dd * log_p +
+                           (trials - dd) * log_q;
+    const double pmf = std::exp(log_pmf);
+    const std::uint64_t b = (d - lo) * buckets / support;
+    mass[b] += pmf;
+    mean_degree[b] += pmf * dd;
+  }
+
+  const auto sizes = rng.multinomial(n, mass);
+  std::vector<DegreeClass> classes;
+  classes.reserve(buckets);
+  for (std::uint64_t b = 0; b < buckets; ++b) {
+    if (sizes[b] == 0) continue;
+    classes.push_back(DegreeClass{
+        mass[b] > 0.0 ? mean_degree[b] / mass[b] : 0.0, sizes[b]});
+  }
+  return DegreeClassModel(std::move(classes));
+}
+
+DegreeClassModel DegreeClassModel::from_graph(const InteractionGraph& graph) {
+  const Count n = graph.num_vertices();
+  if (graph.is_complete()) {
+    return regular(n, static_cast<double>(n - 1));
+  }
+  std::vector<Count> degree(static_cast<std::size_t>(n), 0);
+  for (std::size_t i = 0; i < graph.num_edges(); ++i) {
+    const auto [u, v] = graph.edge(i);
+    ++degree[u];
+    ++degree[v];
+  }
+  std::map<Count, Count> histogram;
+  for (const Count d : degree) ++histogram[d];
+  std::vector<DegreeClass> classes;
+  classes.reserve(histogram.size());
+  for (const auto& [d, size] : histogram) {
+    classes.push_back(DegreeClass{static_cast<double>(d), size});
+  }
+  return DegreeClassModel(std::move(classes));
+}
+
+Count DegreeClassModel::num_vertices() const {
+  Count total = 0;
+  for (const auto& c : classes_) total += c.size;
+  return total;
+}
+
+double DegreeClassModel::total_degree() const {
+  double total = 0.0;
+  for (const auto& c : classes_) {
+    total += c.degree * static_cast<double>(c.size);
+  }
+  return total;
+}
+
+bool DegreeClassModel::has_isolated_vertices() const {
+  for (const auto& c : classes_) {
+    if (c.degree <= 0.0 && c.size > 0) return true;
+  }
+  return false;
+}
+
+}  // namespace kusd::pp

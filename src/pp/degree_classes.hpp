@@ -1,0 +1,87 @@
+// Degree-class aggregation of an interaction topology.
+//
+// The per-interaction graph scheduler stores O(n) vertex states and an
+// explicit (or implicit) edge set. For topologies whose structure is
+// captured by a degree profile — degree-regular families and dense
+// Erdős–Rényi graphs — the *annealed* scheduler is the standard
+// aggregation (cf. the sparse-topology scaling argument of the related
+// literature): instead of fixing one edge set, every interaction samples
+// its responder and initiator independently with probability proportional
+// to vertex degree. A DegreeClassModel is the whole state such a scheduler
+// needs: a handful of (degree, size) classes, so populations collapse from
+// O(n) vertices to O(classes) counts and n >= 1e8 runs fit in cache.
+//
+// Exactness. For a single degree class (complete, cycle, regular:<d>) the
+// annealed endpoint distribution is uniform over ordered vertex pairs —
+// identical to the complete-graph scheduler up to self-interactions (which
+// are unproductive for the USD). The aggregation is therefore exact in
+// distribution on `complete`, a mean-field approximation on well-mixing
+// regular graphs (random regular d >= 3, dense ER), and deliberately
+// ignores slow mixing on low-conductance families like the cycle (use the
+// per-interaction engine there; see docs/architecture.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pp/configuration.hpp"
+#include "rng/rng.hpp"
+
+namespace kusd::pp {
+
+class InteractionGraph;
+
+/// One degree class: `size` vertices, each entering interactions with
+/// sampling weight `degree` (a double: bucketed ER classes carry the
+/// pmf-weighted mean degree of their bucket).
+struct DegreeClass {
+  double degree = 0.0;
+  Count size = 0;
+
+  bool operator==(const DegreeClass&) const = default;
+};
+
+class DegreeClassModel {
+ public:
+  DegreeClassModel() = default;
+  /// Throws util::CheckError on a negative degree or a zero total size.
+  explicit DegreeClassModel(std::vector<DegreeClass> classes);
+
+  /// The degree-regular families: one class of n vertices of degree d.
+  static DegreeClassModel regular(Count n, double degree);
+
+  /// G(n, p) degrees (Binomial(n-1, p)) realized as class sizes: the
+  /// binomial pmf over a +-8-sigma window is bucketed into at most
+  /// `max_classes` classes and the n vertices are split multinomially
+  /// over the buckets (each bucket's weight = its pmf mass, its degree =
+  /// the pmf-weighted mean of its bucket). Deterministic given `rng`.
+  /// A realized zero-degree class models the isolated vertices of sparse
+  /// G(n, p) — see has_isolated_vertices().
+  static DegreeClassModel binomial(Count n, double p, int max_classes,
+                                   rng::Rng& rng);
+
+  /// Measured degree histogram of a materialized graph (one class per
+  /// distinct degree; vertices of degree 0 form a class of degree 0).
+  static DegreeClassModel from_graph(const InteractionGraph& graph);
+
+  [[nodiscard]] const std::vector<DegreeClass>& classes() const {
+    return classes_;
+  }
+  [[nodiscard]] std::size_t num_classes() const { return classes_.size(); }
+  /// Sum of class sizes.
+  [[nodiscard]] Count num_vertices() const;
+  /// Sum of degree * size — twice the (expected) edge count.
+  [[nodiscard]] double total_degree() const;
+  [[nodiscard]] double expected_edges() const { return total_degree() / 2.0; }
+  /// True iff a zero-degree class of positive size exists: such vertices
+  /// never interact, so a population containing them cannot reach
+  /// consensus (the aggregated analogue of a disconnected topology).
+  [[nodiscard]] bool has_isolated_vertices() const;
+
+  bool operator==(const DegreeClassModel&) const = default;
+
+ private:
+  std::vector<DegreeClass> classes_;
+};
+
+}  // namespace kusd::pp

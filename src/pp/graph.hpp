@@ -38,6 +38,8 @@ class InteractionGraph {
                                       rng::Rng& rng);
 
   [[nodiscard]] std::uint32_t num_vertices() const { return n_; }
+  /// True for the implicitly-stored K_n (no edge list to iterate).
+  [[nodiscard]] bool is_complete() const { return complete_; }
   [[nodiscard]] std::size_t num_edges() const {
     return complete_ ? static_cast<std::size_t>(n_) * (n_ - 1) / 2
                      : edges_.size();

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <utility>
 
+#include "core/run.hpp"
+#include "pp/degree_classes.hpp"
 #include "rng/rng.hpp"
 #include "runner/table.hpp"
 #include "runner/trials.hpp"
@@ -80,33 +82,75 @@ pp::Configuration build_config(const SweepSpec& spec, const SweepPoint& p) {
   KUSD_CHECK_MSG(false, "unreachable bias kind");
 }
 
+/// The point's realized topology, in whichever representation its engine
+/// runs on, plus the summary the output schema records.
+struct PointTopology {
+  std::optional<pp::InteractionGraph> graph;
+  std::optional<pp::DegreeClassModel> degrees;
+  std::optional<std::uint64_t> edges;
+  std::optional<bool> connected;
+};
+
 sim::EngineOptions engine_options(const SweepSpec& spec,
                                   const SweepPoint& point,
-                                  const pp::InteractionGraph* topology) {
+                                  const PointTopology& topology) {
   sim::EngineOptions options;
   options.batch.chunk_fraction = spec.batch_chunk_fraction;
   options.batch.policy = spec.batch_policy;
   if (point.graph.has_value()) {
     options.graph = *point.graph;
-    options.shared_graph = topology;
+    if (topology.graph.has_value()) options.shared_graph = &*topology.graph;
+    if (topology.degrees.has_value()) {
+      options.shared_degrees = &*topology.degrees;
+    }
   }
   return options;
 }
 
-/// Build the point's shared topology (graph-axis engines only): one
+/// Realize the point's shared topology (graph-axis engines only): one
 /// deterministic construction per grid point, reused read-only by every
-/// trial regardless of thread placement.
-std::optional<pp::InteractionGraph> build_topology(const SweepPoint& point,
-                                                   std::uint64_t point_seed) {
-  if (!point.graph.has_value()) return std::nullopt;
+/// trial regardless of thread placement. Aggregated engines
+/// (EngineInfo::aggregated_topology) get a degree-class model — never a
+/// materialized edge set, which is exactly what their n >= 1e8 sweeps
+/// cannot afford — with the summary columns computed analytically.
+PointTopology realize_topology(const SweepPoint& point,
+                               std::uint64_t point_seed) {
+  PointTopology out;
+  if (!point.graph.has_value()) return out;
+  const sim::EngineInfo* info = sim::Registry::instance().find(point.engine);
   rng::Rng topology_rng(rng::stream_seed(point_seed, sim::kTopologyStream));
-  return sim::build_graph(*point.graph, point.n, topology_rng);
+  if (info != nullptr && info->aggregated_topology) {
+    out.degrees = sim::degree_class_model(*point.graph, point.n, topology_rng);
+    out.edges = static_cast<std::uint64_t>(
+        std::llround(out.degrees->expected_edges()));
+    out.connected = !out.degrees->has_isolated_vertices();
+  } else {
+    out.graph = sim::build_graph(*point.graph, point.n, topology_rng);
+    out.edges = out.graph->num_edges();
+    out.connected = out.graph->is_connected();
+  }
+  return out;
+}
+
+/// The per-trial native-time cap of this point — what run_one passes to
+/// run_to_consensus, and what a short-circuited disconnected point
+/// reports as its timeout horizon. The graph engines' default budget is
+/// the asynchronous default_interaction_cap.
+std::uint64_t trial_budget(const SweepSpec& spec, const SweepPoint& point) {
+  return spec.max_time != 0 ? spec.max_time
+                            : core::default_interaction_cap(point.n, point.k);
+}
+
+bool starts_at_consensus(const pp::Configuration& x0) {
+  for (int i = 0; i < x0.k(); ++i) {
+    if (x0.opinion(i) == x0.n()) return true;
+  }
+  return false;
 }
 
 TrialOutcome run_one(const SweepSpec& spec, const SweepPoint& point,
                      const pp::Configuration& x0,
-                     const pp::InteractionGraph* topology,
-                     std::uint64_t seed) {
+                     const PointTopology& topology, std::uint64_t seed) {
   const auto engine = sim::Registry::instance().create(
       point.engine, x0, seed, engine_options(spec, point, topology));
   TrialOutcome out;
@@ -137,6 +181,50 @@ SweepCell aggregate_cell(const SweepSpec& spec, const SweepPoint& point,
   cell.converged_rate = static_cast<double>(converged) / denom;
   cell.plurality_win_rate = static_cast<double>(won) / denom;
   cell.wall_seconds = wall_seconds;
+  return cell;
+}
+
+/// Shared core of both execution modes — one code path so CSV/JSONL stay
+/// byte-identical across modes: realize the point's topology, short-
+/// circuit a disconnected one as an all-timeout batch, and otherwise hand
+/// the trial batch to `run_batch` (striped over a pool, or inline in a
+/// point-parallel task).
+SweepCell run_point_cell(
+    const SweepSpec& spec, const SweepPoint& point,
+    const std::function<std::vector<TrialOutcome>(
+        std::uint64_t point_seed,
+        const std::function<TrialOutcome(std::uint64_t)>&)>& run_batch) {
+  const auto x0 = build_config(spec, point);
+  util::Stopwatch watch;
+  const std::uint64_t point_seed =
+      rng::stream_seed(spec.master_seed, point.index);
+  const auto topology = realize_topology(point, point_seed);
+  std::vector<TrialOutcome> outcomes;
+  bool timed_out = false;
+  if (topology.connected.has_value() && !*topology.connected &&
+      spec.max_time == 0 && !starts_at_consensus(x0)) {
+    // Disconnected topology under the *default* budget: global consensus
+    // needs every component (including each isolated vertex) to align by
+    // coincidence, so most trials would grind through the enormous
+    // default cap — the de-facto hang this guard exists for. Record the
+    // trials as timeouts at that cap instead of simulating. An explicit
+    // --budget bounds the cost the user signed up for, so those sweeps
+    // run honestly below and *measure* the coincidental-consensus rate
+    // rather than hardcoding it to zero.
+    TrialOutcome out;
+    out.parallel_time = static_cast<double>(trial_budget(spec, point)) /
+                        static_cast<double>(point.n);
+    outcomes.assign(static_cast<std::size_t>(spec.trials), out);
+    timed_out = true;
+  } else {
+    outcomes = run_batch(point_seed, [&](std::uint64_t seed) {
+      return run_one(spec, point, x0, topology, seed);
+    });
+  }
+  auto cell = aggregate_cell(spec, point, outcomes, watch.seconds());
+  cell.graph_edges = topology.edges;
+  cell.connected = topology.connected;
+  if (timed_out) cell.status = "timeout";
   return cell;
 }
 
@@ -185,7 +273,7 @@ Sweep::Sweep(SweepSpec spec) : spec_(std::move(spec)) {
       any_graph_engine ||
           spec_.graphs == std::vector<sim::GraphSpec>{sim::GraphSpec{}},
       "sweep: the graph axis requires a topology-taking engine "
-      "(--engine graph)");
+      "(--engine graph or graph-batched)");
   for (const auto& graph : spec_.graphs) {
     if (graph.kind == sim::GraphSpec::Kind::kRegular && any_graph_engine) {
       for (const auto n : spec_.ns) {
@@ -285,19 +373,12 @@ SweepCell Sweep::run_point(const SweepPoint& point) const {
 
 SweepCell Sweep::run_point(util::ThreadPool& pool,
                            const SweepPoint& point) const {
-  const auto x0 = build_config(spec_, point);
-  util::Stopwatch watch;
-  const std::uint64_t point_seed =
-      rng::stream_seed(spec_.master_seed, point.index);
-  const auto topology = build_topology(point, point_seed);
-  const pp::InteractionGraph* shared =
-      topology.has_value() ? &*topology : nullptr;
-  const auto outcomes = run_trials<TrialOutcome>(
-      pool, spec_.trials, point_seed,
-      [this, &point, &x0, shared](std::uint64_t seed) {
-        return run_one(spec_, point, x0, shared, seed);
+  return run_point_cell(
+      spec_, point,
+      [this, &pool](std::uint64_t point_seed,
+                    const std::function<TrialOutcome(std::uint64_t)>& trial) {
+        return run_trials<TrialOutcome>(pool, spec_.trials, point_seed, trial);
       });
-  return aggregate_cell(spec_, point, outcomes, watch.seconds());
 }
 
 void Sweep::run(const std::function<void(const SweepCell&)>& on_cell) const {
@@ -332,21 +413,20 @@ void Sweep::run(const std::function<void(const SweepCell&)>& on_cell) const {
     pool.submit([this, &points, &mu, &done, &next_emit, &on_cell,
                  point_index] {
       const SweepPoint& point = points[point_index];
-      const auto x0 = build_config(spec_, point);
-      util::Stopwatch watch;
-      const std::uint64_t point_seed =
-          rng::stream_seed(spec_.master_seed, point.index);
-      const auto topology = build_topology(point, point_seed);
-      const pp::InteractionGraph* shared =
-          topology.has_value() ? &*topology : nullptr;
-      std::vector<TrialOutcome> outcomes(
-          static_cast<std::size_t>(spec_.trials));
-      for (int t = 0; t < spec_.trials; ++t) {
-        outcomes[static_cast<std::size_t>(t)] = run_one(
-            spec_, point, x0, shared,
-            rng::stream_seed(point_seed, static_cast<std::uint64_t>(t)));
-      }
-      auto cell = aggregate_cell(spec_, point, outcomes, watch.seconds());
+      // Trials run inline with the exact per-trial seeds run_trials would
+      // derive, through the same shared cell path as the sequential mode.
+      auto cell = run_point_cell(
+          spec_, point,
+          [this](std::uint64_t point_seed,
+                 const std::function<TrialOutcome(std::uint64_t)>& trial) {
+            std::vector<TrialOutcome> outcomes(
+                static_cast<std::size_t>(spec_.trials));
+            for (int t = 0; t < spec_.trials; ++t) {
+              outcomes[static_cast<std::size_t>(t)] = trial(rng::stream_seed(
+                  point_seed, static_cast<std::uint64_t>(t)));
+            }
+            return outcomes;
+          });
 
       const std::lock_guard<std::mutex> lock(mu);
       done[point_index] = std::move(cell);
@@ -367,12 +447,15 @@ void Sweep::run(const std::function<void(const SweepCell&)>& on_cell) const {
 std::vector<std::string> Sweep::csv_header() {
   return {"engine",
           "graph",
+          "graph_edges",
+          "connected",
           "n",
           "k",
           "start",
           "bias_kind",
           "bias",
           "trials",
+          "status",
           "converged_rate",
           "plurality_win_rate",
           "pt_mean",
@@ -386,12 +469,16 @@ std::vector<std::string> Sweep::csv_row(const SweepCell& cell) {
   return {cell.point.engine,
           cell.point.graph.has_value() ? sim::to_string(*cell.point.graph)
                                        : "-",
+          cell.graph_edges.has_value() ? std::to_string(*cell.graph_edges)
+                                       : "-",
+          cell.connected.has_value() ? (*cell.connected ? "1" : "0") : "-",
           std::to_string(cell.point.n),
           std::to_string(cell.point.k),
           to_string(cell.point.start),
           to_string(cell.bias_kind),
           fmt(cell.point.bias, 6),
           std::to_string(cell.trials),
+          cell.status,
           fmt(cell.converged_rate, 4),
           fmt(cell.plurality_win_rate, 4),
           fmt(pt.empty() ? 0.0 : pt.mean(), 4),
@@ -408,11 +495,17 @@ std::string Sweep::json_line(const SweepCell& cell) {
   for (std::size_t i = 0; i < header.size(); ++i) {
     if (i > 0) os << ',';
     os << '"' << header[i] << "\":";
-    // engine, graph, start and bias_kind are name spellings, everything
-    // else numeric.
+    // engine, graph, start, bias_kind and status are name spellings;
+    // graph_edges and connected are numeric when present and null for
+    // engines without a graph axis (CSV spells that "-"); everything
+    // else is numeric.
     if (header[i] == "engine" || header[i] == "graph" ||
-        header[i] == "start" || header[i] == "bias_kind") {
+        header[i] == "start" || header[i] == "bias_kind" ||
+        header[i] == "status") {
       os << '"' << row[i] << '"';
+    } else if ((header[i] == "graph_edges" || header[i] == "connected") &&
+               row[i] == "-") {
+      os << "null";
     } else {
       os << row[i];
     }

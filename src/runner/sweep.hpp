@@ -6,9 +6,29 @@
 // names, resolved per trial through the registry — the sweep has no
 // per-engine dispatch of its own, so a newly registered engine is
 // sweepable with no changes here. The `graphs` axis applies to engines
-// that take a topology (EngineInfo::uses_graph_axis, i.e. "graph"); for
-// such engines the topology is constructed once per grid point from a
-// deterministic stream and shared read-only across the point's trials.
+// that take a topology (EngineInfo::uses_graph_axis); for such engines
+// the topology is realized once per grid point from a deterministic
+// stream and shared read-only across the point's trials — as a
+// materialized pp::InteractionGraph for per-edge engines ("graph"), or as
+// a pp::DegreeClassModel for aggregated engines ("graph-batched",
+// EngineInfo::aggregated_topology), which never build an edge set and so
+// sweep n far beyond materializable sizes.
+//
+// Topology summary columns. Each graph-axis point also records what was
+// realized: `graph_edges` (measured edge count, or the aggregated
+// model's expected count) and `connected` (BFS-measured, or "no isolated
+// vertices" for aggregated models — the only disconnection an annealed
+// model can express). On a disconnected realization global consensus
+// needs every component to align by coincidence, so most trials run to
+// their cap — under the *default* budgets (max_time == 0, tuned for
+// connected complete-graph dynamics) that is a de-facto hang, and the
+// sweep short-circuits the point: every trial is recorded as a timeout
+// at the default cap (status = "timeout", converged_rate 0, parallel
+// time = cap / n) with `connected` = 0 documenting why. An explicit
+// budget (max_time != 0) bounds the cost the user chose, so those
+// points run honestly and *measure* the coincidental-consensus rate
+// (status stays "ok"; read it against connected = 0). Points already at
+// consensus at t = 0 are exempt from the short-circuit.
 //
 // Two execution modes share one deterministic seed derivation
 // (master_seed, point index, trial index):
@@ -129,6 +149,15 @@ struct SweepCell {
   SweepPoint point;
   BiasKind bias_kind;
   int trials;
+  /// Realized topology summary, computed once per point (nullopt for
+  /// engines without a graph axis): the measured edge count and BFS
+  /// connectivity for materialized topologies, the expected edge count
+  /// and "no isolated vertices" for aggregated ones.
+  std::optional<std::uint64_t> graph_edges;
+  std::optional<bool> connected;
+  /// "ok", or "timeout" when a disconnected topology short-circuited the
+  /// point at the budget (see the file comment).
+  std::string status = "ok";
   double converged_rate;
   double plurality_win_rate;
   /// Per-trial parallel time (see file comment for the per-engine unit).

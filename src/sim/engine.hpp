@@ -38,6 +38,7 @@
 #include "urn/urn.hpp"
 
 namespace kusd::pp {
+class DegreeClassModel;
 class InteractionGraph;
 }  // namespace kusd::pp
 
@@ -56,15 +57,29 @@ struct EngineOptions {
   core::ChunkOptions batch;
   /// Urn backend of the "every"/"skip" engines.
   urn::UrnEngine urn = urn::UrnEngine::kAuto;
-  /// Topology of the "graph" engine (ignored when shared_graph is set,
-  /// except that callers should keep the two consistent for reporting).
+  /// Topology of the graph engines (ignored when shared_graph /
+  /// shared_degrees is set, except that callers should keep the two
+  /// consistent for reporting).
   GraphSpec graph;
   /// Pre-built topology for the "graph" engine, not owned: a sweep builds
   /// the graph once per grid point and shares it across trials. Must have
   /// exactly n vertices. nullptr = the engine builds its own from `graph`
   /// with a seed-derived stream.
   const pp::InteractionGraph* shared_graph = nullptr;
+  /// Pre-built degree-class aggregation for aggregated graph engines
+  /// ("graph-batched"), not owned; the sweep's analogue of shared_graph
+  /// for engines that never materialize an edge set. Must cover exactly n
+  /// vertices. nullptr = the engine aggregates its own from `graph` with
+  /// a seed-derived stream.
+  const pp::DegreeClassModel* shared_degrees = nullptr;
 };
+
+/// Overflow-safe native-time target arithmetic for advance()
+/// implementations: elapsed + budget, saturating at the uint64 max.
+[[nodiscard]] inline std::uint64_t saturating_add(std::uint64_t a,
+                                                  std::uint64_t b) {
+  return b > ~std::uint64_t{0} - a ? ~std::uint64_t{0} : a + b;
+}
 
 class Engine {
  public:

@@ -16,6 +16,7 @@
 #include "pp/graph.hpp"
 #include "pp/graph_scheduler.hpp"
 #include "rng/rng.hpp"
+#include "sim/batched_graph_engine.hpp"
 #include "sim/graph_spec.hpp"
 #include "util/check.hpp"
 
@@ -32,10 +33,6 @@ std::uint64_t gossip_round_cap(pp::Count n, int k) {
 }
 
 namespace {
-
-std::uint64_t saturating_add(std::uint64_t a, std::uint64_t b) {
-  return b > ~std::uint64_t{0} - a ? ~std::uint64_t{0} : a + b;
-}
 
 /// every / skip: UsdSimulator stepped one (productive) interaction at a
 /// time. The skip mode's geometric jumps may overshoot an advance target
@@ -333,6 +330,19 @@ void register_builtin_engines(Registry& registry) {
                     "edge-restricted scheduler over a GraphSpec topology",
                 .max_n = kMaxN32,
                 .uses_graph_axis = true});
+  registry.add(
+      "graph-batched",
+      {.factory =
+           [](const pp::Configuration& initial, std::uint64_t seed,
+              const EngineOptions& options) {
+             return std::make_unique<BatchedGraphEngine>(initial, seed,
+                                                         options);
+           },
+       .description =
+           "degree-aggregated tau-leap over a GraphSpec topology (annealed)",
+       .uses_graph_axis = true,
+       .uses_chunk_options = true,
+       .aggregated_topology = true});
 }
 
 }  // namespace kusd::sim

@@ -97,4 +97,32 @@ pp::InteractionGraph build_graph(const GraphSpec& spec, pp::Count n,
   KUSD_CHECK_MSG(false, "unreachable graph kind");
 }
 
+pp::DegreeClassModel degree_class_model(const GraphSpec& spec, pp::Count n,
+                                        rng::Rng& rng) {
+  KUSD_CHECK_MSG(n >= 2, "a topology needs at least two vertices");
+  switch (spec.kind) {
+    case GraphSpec::Kind::kComplete:
+      return pp::DegreeClassModel::regular(n, static_cast<double>(n - 1));
+    case GraphSpec::Kind::kCycle:
+      return pp::DegreeClassModel::regular(n, 2.0);
+    case GraphSpec::Kind::kRegular:
+      KUSD_CHECK_MSG(
+          spec.degree >= 1 && static_cast<pp::Count>(spec.degree) < n,
+          "regular:<d> needs 1 <= d < n");
+      KUSD_CHECK_MSG((n * static_cast<pp::Count>(spec.degree)) % 2 == 0,
+                     "regular:<d> needs n * d even");
+      return pp::DegreeClassModel::regular(
+          n, static_cast<double>(spec.degree));
+    case GraphSpec::Kind::kErdosRenyi: {
+      const double p = spec.edge_probability == 0.0
+                           ? auto_edge_probability(n)
+                           : spec.edge_probability;
+      KUSD_CHECK_MSG(p > 0.0 && p <= 1.0,
+                     "er:<p> needs an edge probability in (0, 1]");
+      return pp::DegreeClassModel::binomial(n, p, kMaxDegreeClasses, rng);
+    }
+  }
+  KUSD_CHECK_MSG(false, "unreachable graph kind");
+}
+
 }  // namespace kusd::sim

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "pp/configuration.hpp"
+#include "pp/degree_classes.hpp"
 #include "pp/graph.hpp"
 #include "rng/rng.hpp"
 
@@ -62,5 +63,20 @@ struct GraphSpec {
 /// parameter is infeasible at this n (e.g. odd n * d for regular:<d>).
 [[nodiscard]] pp::InteractionGraph build_graph(const GraphSpec& spec,
                                                pp::Count n, rng::Rng& rng);
+
+/// Degree-class bucket cap of er:<p> aggregation (degree_class_model).
+inline constexpr int kMaxDegreeClasses = 48;
+
+/// Aggregate the spec at population size n into a pp::DegreeClassModel —
+/// the O(classes) topology summary the "graph-batched" engine runs on
+/// instead of a materialized edge set, so n is NOT capped at 2^32 here.
+/// Degree-regular families (complete, cycle, regular:<d>) collapse to one
+/// class; er:<p> (and er:auto) realizes binomial degree-class sizes from
+/// `rng` (deterministic from a seeded stream, like build_graph).
+/// Parameter validation matches build_graph, so both engines accept
+/// exactly the same specs.
+[[nodiscard]] pp::DegreeClassModel degree_class_model(const GraphSpec& spec,
+                                                      pp::Count n,
+                                                      rng::Rng& rng);
 
 }  // namespace kusd::sim

@@ -51,6 +51,12 @@ struct EngineInfo {
   bool uses_graph_axis = false;
   /// The engine reads EngineOptions::batch (chunk schedule).
   bool uses_chunk_options = false;
+  /// The engine serves its `--graph` axis through degree-class
+  /// aggregation (EngineOptions::shared_degrees, a pp::DegreeClassModel)
+  /// and never materializes an edge set — so sweeps must not build one
+  /// either (a materialized topology is Theta(n * d) memory; the whole
+  /// point of an aggregated engine is to run where that is impossible).
+  bool aggregated_topology = false;
 };
 
 class Registry {

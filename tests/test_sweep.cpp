@@ -2,10 +2,13 @@
 // schema, and reproducibility.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/run.hpp"
 #include "runner/sweep.hpp"
 #include "sim/registry.hpp"
 #include "util/check.hpp"
@@ -171,7 +174,7 @@ TEST(Sweep, GeometricStartAxisExpandsTheGrid) {
   Sweep(spec).run([&cells](const SweepCell& cell) { cells.push_back(cell); });
   ASSERT_EQ(cells.size(), 16u);
   const auto row = Sweep::csv_row(cells[1]);
-  EXPECT_EQ(row[4], "geometric:0.5");
+  EXPECT_EQ(row[6], "geometric:0.5");  // engine,graph,edges,connected,n,k,start
   const auto json = Sweep::json_line(cells[1]);
   EXPECT_NE(json.find("\"start\":\"geometric:0.5\""), std::string::npos);
 }
@@ -272,7 +275,7 @@ TEST(Sweep, GraphSweepOutputIsByteIdenticalAcrossThreadCounts) {
   SweepSpec spec;
   spec.ns = {120};
   spec.ks = {2, 3};
-  spec.engines = {"graph"};
+  spec.engines = {"graph", "graph-batched"};
   spec.graphs = {sim::GraphSpec{sim::GraphSpec::Kind::kCycle},
                  sim::GraphSpec{sim::GraphSpec::Kind::kRegular, 4},
                  sim::GraphSpec{sim::GraphSpec::Kind::kErdosRenyi, 4, 0.0}};
@@ -288,6 +291,134 @@ TEST(Sweep, GraphSweepOutputIsByteIdenticalAcrossThreadCounts) {
     EXPECT_EQ(render(Sweep(spec)), reference)
         << threads << " threads, point-parallel";
   }
+}
+
+TEST(Sweep, TopologySummaryColumnsAreEmittedOncePerPoint) {
+  // graph_edges / connected: measured for materialized topologies,
+  // analytic for aggregated ones, "-" for engines without a graph axis.
+  SweepSpec spec;
+  spec.ns = {120};
+  spec.ks = {2};
+  spec.engines = {"skip", "graph", "graph-batched"};
+  spec.graphs = {sim::GraphSpec{sim::GraphSpec::Kind::kCycle}};
+  spec.trials = 2;
+  std::vector<SweepCell> cells;
+  Sweep(spec).run([&cells](const SweepCell& cell) { cells.push_back(cell); });
+  ASSERT_EQ(cells.size(), 3u);
+
+  const auto header = Sweep::csv_header();
+  const auto col = [&header](const char* name) {
+    return static_cast<std::size_t>(
+        std::find(header.begin(), header.end(), name) - header.begin());
+  };
+  ASSERT_LT(col("graph_edges"), header.size());
+  ASSERT_LT(col("connected"), header.size());
+  ASSERT_LT(col("status"), header.size());
+
+  // skip: no topology axis at all.
+  EXPECT_FALSE(cells[0].graph_edges.has_value());
+  EXPECT_FALSE(cells[0].connected.has_value());
+  EXPECT_EQ(Sweep::csv_row(cells[0])[col("graph_edges")], "-");
+  EXPECT_EQ(Sweep::csv_row(cells[0])[col("connected")], "-");
+  EXPECT_NE(Sweep::json_line(cells[0]).find("\"graph_edges\":null"),
+            std::string::npos);
+  EXPECT_NE(Sweep::json_line(cells[0]).find("\"connected\":null"),
+            std::string::npos);
+
+  // graph on the cycle: measured — C_120 has 120 edges and is connected.
+  ASSERT_TRUE(cells[1].graph_edges.has_value());
+  EXPECT_EQ(*cells[1].graph_edges, 120u);
+  EXPECT_EQ(cells[1].connected, std::optional<bool>(true));
+  EXPECT_EQ(Sweep::csv_row(cells[1])[col("graph_edges")], "120");
+  EXPECT_EQ(Sweep::csv_row(cells[1])[col("connected")], "1");
+  EXPECT_NE(Sweep::json_line(cells[1]).find("\"graph_edges\":120"),
+            std::string::npos);
+
+  // graph-batched on the cycle: the analytic degree-class summary.
+  EXPECT_EQ(cells[2].graph_edges, std::optional<std::uint64_t>(120u));
+  EXPECT_EQ(cells[2].connected, std::optional<bool>(true));
+  EXPECT_EQ(cells[2].status, "ok");
+}
+
+TEST(Sweep, DisconnectedTopologyShortCircuitsUnderDefaultBudget) {
+  // G(200, 0.005) is disconnected with overwhelming probability, and
+  // under the default budget (max_time == 0) most trials would grind
+  // through the enormous default cap — the de-facto hang this fix
+  // exists for. The point must record connected=0 and report every
+  // trial as a timeout at the default cap without simulating.
+  SweepSpec spec;
+  spec.ns = {200};
+  spec.ks = {2};
+  spec.engines = {"graph"};
+  spec.graphs = {sim::GraphSpec{sim::GraphSpec::Kind::kErdosRenyi, 4, 0.005}};
+  spec.trials = 3;
+  spec.master_seed = 5;
+  std::vector<SweepCell> cells;
+  Sweep(spec).run([&cells](const SweepCell& cell) { cells.push_back(cell); });
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].connected, std::optional<bool>(false));
+  EXPECT_EQ(cells[0].status, "timeout");
+  EXPECT_DOUBLE_EQ(cells[0].converged_rate, 0.0);
+  EXPECT_DOUBLE_EQ(cells[0].plurality_win_rate, 0.0);
+  ASSERT_EQ(cells[0].parallel_time.count(), 3u);
+  // Parallel time reports the timeout horizon: the default cap / n.
+  EXPECT_DOUBLE_EQ(
+      cells[0].parallel_time.mean(),
+      static_cast<double>(core::default_interaction_cap(200, 2)) / 200.0);
+
+  // Byte-identical across execution modes, like every other cell.
+  const std::string reference = render(Sweep(spec));
+  spec.threads = 4;
+  spec.point_parallelism = true;
+  EXPECT_EQ(render(Sweep(spec)), reference);
+
+  // The aggregated engine hits the same guard through its degree classes
+  // (mean degree ~1 realizes isolated vertices).
+  SweepSpec aggregated = spec;
+  aggregated.threads = 0;
+  aggregated.point_parallelism = false;
+  aggregated.ns = {2000};
+  aggregated.engines = {"graph-batched"};
+  aggregated.graphs = {
+      sim::GraphSpec{sim::GraphSpec::Kind::kErdosRenyi, 4, 0.0005}};
+  std::vector<SweepCell> agg_cells;
+  Sweep(aggregated).run(
+      [&agg_cells](const SweepCell& cell) { agg_cells.push_back(cell); });
+  ASSERT_EQ(agg_cells.size(), 1u);
+  EXPECT_EQ(agg_cells[0].connected, std::optional<bool>(false));
+  EXPECT_EQ(agg_cells[0].status, "timeout");
+  EXPECT_DOUBLE_EQ(agg_cells[0].converged_rate, 0.0);
+}
+
+TEST(Sweep, DisconnectedTopologyRunsHonestlyUnderExplicitBudget) {
+  // An explicit --budget bounds the cost, so a disconnected point is
+  // simulated for real: global consensus by coincidental component
+  // alignment is a measurable quantity (components each converge; with
+  // k = 2 and few components it happens often), and the sweep must
+  // report the measured rate instead of hardcoding zero.
+  SweepSpec spec;
+  spec.ns = {60};
+  spec.ks = {2};
+  spec.engines = {"graph"};
+  // Two disjoint-ish sparse blobs: G(60, 0.05) at this seed realizes a
+  // disconnected graph whose components still converge individually.
+  spec.graphs = {sim::GraphSpec{sim::GraphSpec::Kind::kErdosRenyi, 4, 0.05}};
+  spec.trials = 20;
+  spec.master_seed = 1;
+  spec.max_time = 2'000'000;
+  std::vector<SweepCell> cells;
+  Sweep(spec).run([&cells](const SweepCell& cell) { cells.push_back(cell); });
+  ASSERT_EQ(cells.size(), 1u);
+  ASSERT_EQ(cells[0].connected, std::optional<bool>(false))
+      << "seed 1 was chosen to realize a disconnected G(60, 0.05); if "
+         "topology construction changed, pick a new seed";
+  EXPECT_EQ(cells[0].status, "ok");  // ran for real, no short-circuit
+  // Some trials reach coincidental global consensus within the budget;
+  // the measured rate is the point of running honestly.
+  EXPECT_GT(cells[0].converged_rate, 0.0);
+  ASSERT_EQ(cells[0].parallel_time.count(), 20u);
+  // No trial exceeded the explicit budget.
+  EXPECT_LE(cells[0].parallel_time.max(), 2'000'000.0 / 60.0);
 }
 
 TEST(Sweep, BudgetOverrideCapsAndUncapsTrials) {

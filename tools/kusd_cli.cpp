@@ -40,6 +40,19 @@ namespace {
 
 using namespace kusd;
 
+// The registry names whose engines take a `--graph` topology, joined for
+// error messages ("graph, graph-batched" with the builtins).
+std::string graph_engine_names() {
+  const auto& registry = sim::Registry::instance();
+  std::string names;
+  for (const auto& name : registry.names()) {
+    if (!registry.find(name)->uses_graph_axis) continue;
+    if (!names.empty()) names += ", ";
+    names += name;
+  }
+  return names;
+}
+
 [[noreturn]] void usage(int exit_code = 2) {
   // Engines come from the registry, so a newly registered engine shows up
   // here without touching the CLI.
@@ -54,7 +67,8 @@ using namespace kusd;
       "  sweep:   grid axes take comma lists (scientific notation ok):\n"
       "           --n N1,N2,... --k K1,... --engine NAME[,...]\n"
       "           --graph complete|cycle|regular:<d>|er:<p>|er:auto[,...]\n"
-      "             (topology axis; requires --engine graph)\n"
+      "             (topology axis; requires a graph engine: graph = exact\n"
+      "             per-edge, graph-batched = degree-aggregated for huge n)\n"
       "           --start uniform|geometric:<ratio>[,...]\n"
       "           [--beta B1,... | --alpha A1,...] --trials T --ufrac F\n"
       "           --budget B (per-trial native-time cap; 0 = engine default,\n"
@@ -181,7 +195,8 @@ int cmd_run(const Args& args) {
                            ? nullptr
                            : sim::Registry::instance().find(opts.engine);
     if (info == nullptr || !info->uses_graph_axis) {
-      std::fprintf(stderr, "--graph requires --engine graph\n");
+      std::fprintf(stderr, "--graph requires a topology-taking engine (%s)\n",
+                   graph_engine_names().c_str());
       usage();
     }
     const auto graph = sim::parse_graph_spec(graph_name);
@@ -325,7 +340,8 @@ int cmd_sweep(const Args& args) {
 
   if (args.options.count("graph") != 0) {
     if (!any_graph_engine) {
-      std::fprintf(stderr, "--graph requires --engine graph\n");
+      std::fprintf(stderr, "--graph requires a topology-taking engine (%s)\n",
+                   graph_engine_names().c_str());
       usage();
     }
     spec.graphs.clear();
