@@ -41,8 +41,8 @@ int main() {
 
     const pp::Configuration x0(start, 0);
     struct Row {
-      double time;
-      int won;
+      double time = 0.0;
+      int won = 0;
     };
     const auto rows = runner::run_trials<Row>(
         trials, 0xE12000 + start[0],

@@ -28,8 +28,8 @@ int main() {
     runner::Table table({"p", "a", "b", "win prob (exact)", "win prob (MC)",
                          "E[duration] (exact)", "E[duration] (MC)"});
     struct Case {
-      double p;
-      std::uint64_t a, b;
+      double p = 0.0;
+      std::uint64_t a = 0, b = 0;
     };
     for (const auto& c :
          {Case{0.5, 5, 10}, Case{0.5, 2, 20}, Case{0.55, 4, 16},

@@ -99,8 +99,8 @@ Usd2ExactSolver::Usd2ExactSolver(pp::Count n) : n_(n) {
       const double d1 = static_cast<double>(x1);
       // Productive transitions and their probabilities.
       struct Arc {
-        pp::Count nx0, nx1;
-        double p;
+        pp::Count nx0 = 0, nx1 = 0;
+        double p = 0.0;
       };
       const Arc arcs[4] = {
           {x0 + 1, x1, u * d0 / nn},      // undecided adopts opinion 0

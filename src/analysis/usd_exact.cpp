@@ -115,7 +115,7 @@ UsdExactSolver::UsdExactSolver(pp::Count n, int k) : n_(n), k_(k) {
     double q = 0.0;
     struct Arc {
       std::vector<pp::Count> to;
-      double p;
+      double p = 0.0;
     };
     std::vector<Arc> arcs;
     for (std::size_t i = 0; i < uk; ++i) {

@@ -37,6 +37,19 @@ RunResult run_usd(const pp::Configuration& initial, std::uint64_t seed,
   const std::uint64_t cap = options.max_interactions != 0
                                 ? options.max_interactions
                                 : engine->default_budget();
+  // A disconnected topology cannot reach global consensus except by
+  // per-component coincidence, so a default-budget run would grind
+  // through the whole generous cap — the same de-facto hang the sweep
+  // short-circuits. Report the run as the timeout it would have been
+  // (parity with runner::Sweep: an explicit cap runs honestly, and a
+  // configuration already at consensus is exempt).
+  if (options.max_interactions == 0 &&
+      !engine->topology_connected().value_or(true) && !engine->is_consensus()) {
+    result.interactions = cap;
+    result.parallel_time =
+        static_cast<double>(cap) / static_cast<double>(initial.n());
+    return result;
+  }
   if (options.track_phases) {
     PhaseTracker tracker(initial.n(), options.alpha);
     const std::uint64_t interval = options.observe_interval != 0

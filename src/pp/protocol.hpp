@@ -12,8 +12,8 @@ namespace kusd::pp {
 
 /// Result of applying delta to (responder, initiator).
 struct PairTransition {
-  int responder;
-  int initiator;
+  int responder = 0;
+  int initiator = 0;
 };
 
 /// Abstract transition function. Implementations must be pure (stateless

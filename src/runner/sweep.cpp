@@ -134,11 +134,18 @@ PointTopology realize_topology(const SweepPoint& point,
 
 /// The per-trial native-time cap of this point — what run_one passes to
 /// run_to_consensus, and what a short-circuited disconnected point
-/// reports as its timeout horizon. The graph engines' default budget is
-/// the asynchronous default_interaction_cap.
+/// reports as its timeout horizon. The default comes from the engine's
+/// published budget (EngineInfo::default_budget), so a short-circuited
+/// cell reports the same horizon a simulated trial would have run to;
+/// engines that publish nothing default to the asynchronous
+/// default_interaction_cap.
 std::uint64_t trial_budget(const SweepSpec& spec, const SweepPoint& point) {
-  return spec.max_time != 0 ? spec.max_time
-                            : core::default_interaction_cap(point.n, point.k);
+  if (spec.max_time != 0) return spec.max_time;
+  const sim::EngineInfo* info = sim::Registry::instance().find(point.engine);
+  if (info != nullptr && info->default_budget) {
+    return info->default_budget(point.n, point.k);
+  }
+  return core::default_interaction_cap(point.n, point.k);
 }
 
 bool starts_at_consensus(const pp::Configuration& x0) {

@@ -136,19 +136,19 @@ struct SweepPoint {
   std::string engine;
   /// Topology of this point; nullopt for engines without a graph axis.
   std::optional<sim::GraphSpec> graph;
-  pp::Count n;
-  int k;
+  pp::Count n = 0;
+  int k = 0;
   StartProfile start;
-  double bias;
+  double bias = 0.0;
   /// Position in grid order; seeds the point's trial batch.
-  std::size_t index;
+  std::size_t index = 0;
 };
 
 /// Aggregate of one grid point's trial batch.
 struct SweepCell {
   SweepPoint point;
-  BiasKind bias_kind;
-  int trials;
+  BiasKind bias_kind = BiasKind::kNone;
+  int trials = 0;
   /// Realized topology summary, computed once per point (nullopt for
   /// engines without a graph axis): the measured edge count and BFS
   /// connectivity for materialized topologies, the expected edge count
@@ -158,14 +158,14 @@ struct SweepCell {
   /// "ok", or "timeout" when a disconnected topology short-circuited the
   /// point at the budget (see the file comment).
   std::string status = "ok";
-  double converged_rate;
-  double plurality_win_rate;
+  double converged_rate = 0.0;
+  double plurality_win_rate = 0.0;
   /// Per-trial parallel time (see file comment for the per-engine unit).
   stats::Samples parallel_time;
   /// Wall-clock cost of this point. Progress information only — it is
   /// deliberately not part of the CSV/JSONL schema, which stays
   /// byte-deterministic for a given (spec, master_seed).
-  double wall_seconds;
+  double wall_seconds = 0.0;
 };
 
 class Sweep {

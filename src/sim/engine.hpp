@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <span>
 
 #include "core/chunk_controller.hpp"
@@ -108,6 +109,16 @@ class Engine {
   /// Native-time observation interval giving phase-tracking resolution
   /// well below phase lengths (n/8 interactions; 1 round).
   [[nodiscard]] virtual std::uint64_t default_observe_interval() const = 0;
+
+  /// Whether the engine's realized topology can carry every agent to one
+  /// opinion: BFS connectivity for materialized edge sets, "no isolated
+  /// vertices" for aggregated degree models. nullopt for engines without
+  /// a topology (complete-graph dynamics are always connected). Drivers
+  /// use a `false` here to short-circuit default-budget runs that could
+  /// only end in a timeout (see core::run_usd and runner::Sweep).
+  [[nodiscard]] virtual std::optional<bool> topology_connected() const {
+    return std::nullopt;
+  }
 
   [[nodiscard]] int k() const { return static_cast<int>(counts().size()); }
 

@@ -257,6 +257,9 @@ class GraphUsdEngine final : public Engine {
   std::uint64_t default_observe_interval() const override {
     return std::max<std::uint64_t>(1, n_ / 8);
   }
+  std::optional<bool> topology_connected() const override {
+    return graph_->is_connected();
+  }
 
  private:
   core::UsdProtocol protocol_;
@@ -273,6 +276,14 @@ constexpr pp::Count kMaxN32 = (std::uint64_t{1} << 32) - 1;
 }  // namespace
 
 void register_builtin_engines(Registry& registry) {
+  // Every engine publishes its default budget (EngineInfo::default_budget)
+  // so drivers can report a cap without constructing one; the published
+  // value must match what Engine::default_budget() would return (pinned by
+  // tests/test_sim.cpp). The asynchronous engines share the interaction
+  // cap.
+  const auto interaction_budget = [](pp::Count n, int k) {
+    return core::default_interaction_cap(n, k);
+  };
   registry.add("every",
                {.factory =
                     [](const pp::Configuration& initial, std::uint64_t seed,
@@ -282,6 +293,7 @@ void register_builtin_engines(Registry& registry) {
                           options.urn);
                     },
                 .description = "exact chain, one interaction per step",
+                .default_budget = interaction_budget,
                 .max_n = kMaxN32});
   registry.add("skip",
                {.factory =
@@ -293,6 +305,7 @@ void register_builtin_engines(Registry& registry) {
                     },
                 .description =
                     "exact chain, geometric skips over unproductive runs",
+                .default_budget = interaction_budget,
                 .max_n = kMaxN32});
   registry.add("batched",
                {.factory =
@@ -303,6 +316,7 @@ void register_builtin_engines(Registry& registry) {
                     },
                 .description =
                     "chunked tau-leap, O(k) per Theta(n) interactions",
+                .default_budget = interaction_budget,
                 .uses_chunk_options = true});
   registry.add("sync",
                {.factory =
@@ -311,6 +325,8 @@ void register_builtin_engines(Registry& registry) {
                       return std::make_unique<SyncEngine>(initial, seed);
                     },
                 .description = "synchronized round model (exact, O(k)/round)",
+                .default_budget = [](pp::Count n,
+                                     int) { return sync_round_cap(n); },
                 .requires_decided_start = true});
   registry.add("gossip",
                {.factory =
@@ -318,7 +334,10 @@ void register_builtin_engines(Registry& registry) {
                        const EngineOptions&) {
                       return std::make_unique<GossipEngine>(initial, seed);
                     },
-                .description = "gossip/PULL round model (exact, O(k^2)/round)"});
+                .description = "gossip/PULL round model (exact, O(k^2)/round)",
+                .default_budget = [](pp::Count n, int k) {
+                  return gossip_round_cap(n, k);
+                }});
   registry.add("graph",
                {.factory =
                     [](const pp::Configuration& initial, std::uint64_t seed,
@@ -328,6 +347,7 @@ void register_builtin_engines(Registry& registry) {
                     },
                 .description =
                     "edge-restricted scheduler over a GraphSpec topology",
+                .default_budget = interaction_budget,
                 .max_n = kMaxN32,
                 .uses_graph_axis = true});
   registry.add(
@@ -340,6 +360,7 @@ void register_builtin_engines(Registry& registry) {
            },
        .description =
            "degree-aggregated tau-leap over a GraphSpec topology (annealed)",
+       .default_budget = interaction_budget,
        .uses_graph_axis = true,
        .uses_chunk_options = true,
        .aggregated_topology = true});

@@ -41,6 +41,12 @@ struct EngineInfo {
       const EngineOptions& options)>
       factory;
   std::string description;
+  /// The generous native-time cap Engine::default_budget() would return
+  /// for an (n, k) population, published statically so drivers can report
+  /// a budget without constructing (or running) an engine — e.g. the
+  /// sweep's disconnected short-circuit records its timeout horizon from
+  /// here. Unset falls back to core::default_interaction_cap.
+  std::function<std::uint64_t(pp::Count n, int k)> default_budget;
   /// Largest supported population (0 = unlimited). The per-interaction
   /// and graph engines cap n below 2^32.
   pp::Count max_n = 0;

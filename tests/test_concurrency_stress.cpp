@@ -1,0 +1,223 @@
+// Concurrency stress suite: deliberately contended schedules for the
+// shared-state paths the determinism contract leans on — ThreadPool
+// (exception capture under contention, wait_idle racing enqueue, reuse
+// after failure), striped run_trials, and point-parallel runner::Sweep
+// cells. The assertions matter, but the real reviewer is ThreadSanitizer:
+// the `tsan` preset runs this suite to give TSan genuine interleavings to
+// inspect (see docs/verification.md). Keep new cross-thread machinery
+// covered here.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runner/sweep.hpp"
+#include "runner/trials.hpp"
+#include "util/thread_pool.hpp"
+
+namespace kusd {
+namespace {
+
+TEST(ThreadPoolStress, ManySubmittersManyTasks) {
+  util::ThreadPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  constexpr int kSubmitters = 8;
+  constexpr int kTasksPerSubmitter = 400;
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &sum, s] {
+      for (int t = 0; t < kTasksPerSubmitter; ++t) {
+        pool.submit([&sum, s, t] {
+          sum.fetch_add(static_cast<std::uint64_t>(s * kTasksPerSubmitter + t),
+                        std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& thread : submitters) thread.join();
+  pool.wait_idle();
+  constexpr std::uint64_t kTotal = kSubmitters * kTasksPerSubmitter;
+  EXPECT_EQ(sum.load(), kTotal * (kTotal - 1) / 2);
+}
+
+TEST(ThreadPoolStress, WaitIdleRacesEnqueue) {
+  // wait_idle() from one thread while another is mid-burst: every round
+  // must observe at least its own completed burst, and the final count
+  // must be exact. The interesting part is what TSan sees, not the sum.
+  util::ThreadPool pool(2);
+  std::atomic<int> done{0};
+  constexpr int kBursts = 50;
+  constexpr int kPerBurst = 20;
+  std::thread submitter([&pool, &done] {
+    for (int b = 0; b < kBursts; ++b) {
+      for (int t = 0; t < kPerBurst; ++t) {
+        pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+      }
+    }
+  });
+  for (int i = 0; i < 20; ++i) pool.wait_idle();
+  submitter.join();
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), kBursts * kPerBurst);
+}
+
+TEST(ThreadPoolStress, FirstExceptionWinsUnderContention) {
+  util::ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  constexpr int kThrowers = 16;
+  constexpr int kWorkers = 200;
+  std::vector<std::thread> submitters;
+  submitters.reserve(2);
+  submitters.emplace_back([&pool] {
+    for (int t = 0; t < kThrowers; ++t) {
+      pool.submit([t] {
+        throw std::runtime_error("boom " + std::to_string(t));
+      });
+    }
+  });
+  submitters.emplace_back([&pool, &ran] {
+    for (int t = 0; t < kWorkers; ++t) {
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+  });
+  for (auto& thread : submitters) thread.join();
+  // Exactly one exception surfaces (the first captured); the rest are
+  // dropped and every non-throwing task still ran.
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  pool.wait_idle();  // No stale exception left behind.
+  EXPECT_EQ(ran.load(), kWorkers);
+
+  // The pool is reusable after a failure.
+  std::atomic<int> after{0};
+  for (int t = 0; t < 50; ++t) {
+    pool.submit([&after] { after.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(after.load(), 50);
+}
+
+TEST(ThreadPoolStress, DestructorDrainsPendingQueue) {
+  std::atomic<int> done{0};
+  constexpr int kTasks = 300;
+  {
+    util::ThreadPool pool(3);
+    for (int t = 0; t < kTasks; ++t) {
+      pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // No wait_idle: the destructor must drain the queue before joining.
+  }
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPoolStress, PendingExceptionDiscardedAtDestruction) {
+  std::atomic<int> done{0};
+  {
+    util::ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("never observed"); });
+    for (int t = 0; t < 100; ++t) {
+      pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(TrialStress, StripedTrialsWriteDisjointSlots) {
+  // Striped workers write result slots concurrently — disjoint by index,
+  // which TSan confirms is genuinely race-free. Values pin the seed
+  // derivation: trial i sees stream_seed(master, i) wherever it ran.
+  util::ThreadPool pool(8);
+  constexpr int kTrials = 5000;
+  constexpr std::uint64_t kMaster = 99;
+  const auto results = runner::run_trials<std::uint64_t>(
+      pool, kTrials, kMaster, [](std::uint64_t seed) { return seed ^ 0x5aa5; });
+  ASSERT_EQ(results.size(), static_cast<std::size_t>(kTrials));
+  for (int i = 0; i < kTrials; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)],
+              rng::stream_seed(kMaster, static_cast<std::uint64_t>(i)) ^
+                  0x5aa5);
+  }
+}
+
+TEST(TrialStress, TrialExceptionPropagatesPoolSurvives) {
+  util::ThreadPool pool(4);
+  const auto bomb = [](std::uint64_t seed) -> int {
+    if (seed == rng::stream_seed(7, 13)) throw std::runtime_error("trial 13");
+    return 1;
+  };
+  EXPECT_THROW(runner::run_trials<int>(pool, 64, 7, bomb), std::runtime_error);
+  // The pool outlives the failed batch and runs the next one cleanly.
+  const auto ok =
+      runner::run_trials<int>(pool, 32, 8, [](std::uint64_t) { return 2; });
+  EXPECT_EQ(ok.size(), 32u);
+}
+
+// One small but genuinely parallel sweep per execution mode, byte-compared.
+// This is the contract the whole tooling layer defends: CSV output is a
+// pure function of (spec, master_seed), independent of thread count and
+// scheduling mode — and TSan watches the cell buffering that makes it so.
+std::vector<std::string> sweep_rows(bool point_parallel, bool shuffle,
+                                    std::size_t threads) {
+  runner::SweepSpec spec;
+  spec.engines = {"skip", "batched"};
+  spec.ns = {300, 500};
+  spec.ks = {2, 3};
+  spec.trials = 6;
+  spec.master_seed = 42;
+  spec.threads = threads;
+  spec.point_parallelism = point_parallel;
+  spec.shuffle_points = shuffle;
+  runner::Sweep sweep(spec);
+  std::vector<std::string> rows;
+  sweep.run([&rows](const runner::SweepCell& cell) {
+    std::string row;
+    for (const auto& field : runner::Sweep::csv_row(cell)) {
+      row += field;
+      row += ',';
+    }
+    rows.push_back(std::move(row));
+  });
+  return rows;
+}
+
+TEST(SweepStress, PointParallelCellsByteIdenticalAcrossSchedules) {
+  const auto sequential = sweep_rows(false, false, 1);
+  const auto trial_parallel = sweep_rows(false, false, 4);
+  const auto point_parallel = sweep_rows(true, false, 4);
+  const auto shuffled = sweep_rows(true, true, 4);
+  EXPECT_EQ(sequential, trial_parallel);
+  EXPECT_EQ(sequential, point_parallel);
+  EXPECT_EQ(sequential, shuffled);
+}
+
+TEST(SweepStress, ManySmallPointsKeepCallbackSerial) {
+  // A wide grid of tiny points maximizes contention on the buffered-emit
+  // path. The callback must never run concurrently with itself; the
+  // re-entrancy counter would trip (and TSan would flag the data race on
+  // `inside`) if it ever did.
+  runner::SweepSpec spec;
+  spec.engines = {"skip"};
+  spec.ns = {100, 150, 200, 250, 300, 350};
+  spec.ks = {2, 3, 4};
+  spec.trials = 3;
+  spec.master_seed = 9;
+  spec.threads = 8;
+  spec.point_parallelism = true;
+  spec.shuffle_points = true;
+  runner::Sweep sweep(spec);
+  int inside = 0;
+  std::size_t cells = 0;
+  sweep.run([&inside, &cells](const runner::SweepCell&) {
+    ASSERT_EQ(++inside, 1);
+    ++cells;
+    --inside;
+  });
+  EXPECT_EQ(cells, sweep.grid().size());
+}
+
+}  // namespace
+}  // namespace kusd

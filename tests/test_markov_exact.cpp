@@ -62,7 +62,7 @@ TEST(MarkovExact, RejectsAllUndecidedQuery) {
 }
 
 struct ExactVsMcCase {
-  pp::Count n, x0, x1;
+  pp::Count n = 0, x0 = 0, x1 = 0;
 };
 
 class ExactVsMonteCarlo : public ::testing::TestWithParam<ExactVsMcCase> {};

@@ -41,8 +41,8 @@ Configuration random_config(rng::Rng& rng, Count n, int k) {
 }
 
 struct SweepParam {
-  Count n;
-  int k;
+  Count n = 0;
+  int k = 0;
 };
 
 class RandomConfigSweep : public ::testing::TestWithParam<SweepParam> {};

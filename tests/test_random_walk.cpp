@@ -32,8 +32,8 @@ TEST(GamblersRuin, FairExpectedDuration) {
 }
 
 struct WalkCase {
-  double p;
-  std::uint64_t a, b;
+  double p = 0.0;
+  std::uint64_t a = 0, b = 0;
 };
 
 class GamblersRuinSweep : public ::testing::TestWithParam<WalkCase> {};

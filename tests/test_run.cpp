@@ -58,6 +58,58 @@ TEST(RunUsd, UnbiasedWinnerIsInitiallySignificant) {
   }
 }
 
+TEST(RunUsd, DisconnectedGraphShortCircuitsAtDefaultBudget) {
+  // Parity with the sweep's guard: `kusd run --engine graph --graph
+  // er:<tiny p>` must consult the engine's topology_connected() at
+  // construction and report the would-be timeout instead of grinding
+  // through the full default cap.
+  const auto x0 = Configuration::uniform(2000, 2, 0);
+  RunOptions options;
+  options.engine = "graph";
+  options.graph = sim::GraphSpec{sim::GraphSpec::Kind::kErdosRenyi, 4, 1e-4};
+  const auto result = run_usd(x0, 3, options);
+  EXPECT_FALSE(result.converged);
+  // The reported horizon is the engine's own default budget.
+  EXPECT_EQ(result.interactions, core::default_interaction_cap(2000, 2));
+  EXPECT_DOUBLE_EQ(
+      result.parallel_time,
+      static_cast<double>(core::default_interaction_cap(2000, 2)) / 2000.0);
+  // Nothing was simulated, so no phase was ever observed.
+  EXPECT_FALSE(result.phases.t1.has_value());
+
+  // The aggregated engine short-circuits through its degree classes.
+  options.engine = "graph-batched";
+  const auto aggregated = run_usd(x0, 3, options);
+  EXPECT_FALSE(aggregated.converged);
+  EXPECT_EQ(aggregated.interactions, core::default_interaction_cap(2000, 2));
+}
+
+TEST(RunUsd, ExplicitCapRunsDisconnectedGraphHonestly) {
+  // An explicit cap bounds the cost the caller chose, so the run is
+  // simulated for real (parity with the sweep's --budget semantics).
+  const auto x0 = Configuration::uniform(2000, 2, 0);
+  RunOptions options;
+  options.engine = "graph";
+  options.graph = sim::GraphSpec{sim::GraphSpec::Kind::kErdosRenyi, 4, 1e-4};
+  options.max_interactions = 5000;
+  const auto result = run_usd(x0, 3, options);
+  EXPECT_FALSE(result.converged);
+  // The engine genuinely stepped to the cap instead of reporting it.
+  EXPECT_EQ(result.interactions, 5000u);
+}
+
+TEST(RunUsd, ConsensusAtStartIsExemptFromTheShortCircuit) {
+  // A population already at consensus is consensus on any topology.
+  const auto x0 = Configuration({2000, 0}, 0);
+  RunOptions options;
+  options.engine = "graph";
+  options.graph = sim::GraphSpec{sim::GraphSpec::Kind::kErdosRenyi, 4, 1e-4};
+  const auto result = run_usd(x0, 3, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.winner, 0);
+  EXPECT_EQ(result.interactions, 0u);
+}
+
 TEST(RunUsd, RespectsInteractionCap) {
   RunOptions opts;
   opts.max_interactions = 50;

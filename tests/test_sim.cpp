@@ -67,6 +67,53 @@ TEST(Registry, EveryRegisteredNameConstructsAndRuns) {
   }
 }
 
+TEST(Registry, PublishedBudgetMatchesEveryConstructedEngine) {
+  // EngineInfo::default_budget is the statically published copy of
+  // Engine::default_budget() — drivers (the sweep's disconnected
+  // short-circuit) report it without constructing an engine, so the two
+  // must never drift.
+  const auto& registry = sim::Registry::instance();
+  const auto x0 = pp::Configuration::uniform(200, 2, 0);
+  sim::EngineOptions options;
+  options.graph = sim::GraphSpec{sim::GraphSpec::Kind::kCycle};
+  for (const auto& name : registry.names()) {
+    const sim::EngineInfo* info = registry.find(name);
+    ASSERT_NE(info, nullptr) << name;
+    if (!info->default_budget) continue;  // fallback path, nothing to pin
+    const auto engine = registry.create(name, x0, 1, options);
+    EXPECT_EQ(info->default_budget(x0.n(), x0.k()), engine->default_budget())
+        << "engine '" << name
+        << "' publishes a default budget that differs from the one it uses";
+  }
+}
+
+TEST(Engine, TopologyConnectedReflectsTheRealizedTopology) {
+  const auto& registry = sim::Registry::instance();
+  const auto x0 = pp::Configuration::uniform(300, 2, 0);
+  // Engines without a topology make no connectivity claim.
+  EXPECT_EQ(registry.create("skip", x0, 1)->topology_connected(),
+            std::nullopt);
+  EXPECT_EQ(registry.create("batched", x0, 1)->topology_connected(),
+            std::nullopt);
+  sim::EngineOptions cycle;
+  cycle.graph = sim::GraphSpec{sim::GraphSpec::Kind::kCycle};
+  // G(300, 0.003) sits far below the ln n / n connectivity threshold:
+  // sparse enough for isolated vertices (both the materialized and the
+  // aggregated representation see the disconnection) but not empty.
+  sim::EngineOptions sparse;
+  sparse.graph = sim::GraphSpec{sim::GraphSpec::Kind::kErdosRenyi, 4, 0.003};
+  EXPECT_EQ(registry.create("graph", x0, 1, cycle)->topology_connected(),
+            std::optional<bool>(true));
+  EXPECT_EQ(registry.create("graph", x0, 1, sparse)->topology_connected(),
+            std::optional<bool>(false));
+  EXPECT_EQ(
+      registry.create("graph-batched", x0, 1, cycle)->topology_connected(),
+      std::optional<bool>(true));
+  EXPECT_EQ(
+      registry.create("graph-batched", x0, 1, sparse)->topology_connected(),
+      std::optional<bool>(false));
+}
+
 TEST(Registry, CreateUnknownEngineThrows) {
   const auto x0 = Configuration::uniform(100, 2, 0);
   EXPECT_THROW((void)sim::Registry::instance().create("warp-drive", x0, 1),

@@ -446,6 +446,41 @@ TEST(Sweep, BudgetOverrideCapsAndUncapsTrials) {
   EXPECT_DOUBLE_EQ(cells[0].converged_rate, 1.0);
 }
 
+TEST(Sweep, ShortCircuitReportsTheEnginePublishedBudget) {
+  // The timeout horizon of a short-circuited cell must come from the
+  // engine's published default budget (EngineInfo::default_budget), not a
+  // hardcoded core::default_interaction_cap — engines are free to publish
+  // a different default, and the recorded horizon has to be the budget a
+  // simulated trial would actually have run to.
+  constexpr std::uint64_t kProbeBudget = 777'000;
+  auto& registry = sim::Registry::instance();
+  if (!registry.contains("published-budget-probe")) {
+    registry.add(
+        "published-budget-probe",
+        {.factory =
+             [](const pp::Configuration& initial, std::uint64_t seed,
+                const sim::EngineOptions&) {
+               return sim::Registry::instance().create("skip", initial, seed);
+             },
+         .description = "test probe with a non-default published budget",
+         .default_budget = [](pp::Count, int) { return kProbeBudget; },
+         .uses_graph_axis = true});
+  }
+  SweepSpec spec;
+  spec.ns = {200};
+  spec.ks = {2};
+  spec.engines = {"published-budget-probe"};
+  spec.graphs = {sim::GraphSpec{sim::GraphSpec::Kind::kErdosRenyi, 4, 0.005}};
+  spec.trials = 2;
+  spec.master_seed = 5;  // Same disconnected realization as above.
+  std::vector<SweepCell> cells;
+  Sweep(spec).run([&cells](const SweepCell& cell) { cells.push_back(cell); });
+  ASSERT_EQ(cells.size(), 1u);
+  ASSERT_EQ(cells[0].status, "timeout");
+  EXPECT_DOUBLE_EQ(cells[0].parallel_time.mean(),
+                   static_cast<double>(kProbeBudget) / 200.0);
+}
+
 TEST(Sweep, EngineNamesComeFromTheRegistry) {
   for (const auto& name : sim::Registry::instance().names()) {
     EXPECT_TRUE(sim::Registry::instance().contains(name));

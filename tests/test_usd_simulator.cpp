@@ -152,9 +152,9 @@ std::vector<double> consensus_times(const Configuration& x0, StepMode mode,
 }
 
 struct EquivalenceCase {
-  pp::Count n;
-  int k;
-  pp::Count undecided;
+  pp::Count n = 0;
+  int k = 0;
+  pp::Count undecided = 0;
 };
 
 class SkipEquivalenceSweep

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Unit tests for lint_determinism.py (fixture trees in a tempdir).
+
+Run directly or via the smoke_lint_determinism_selftest ctest:
+  python3 tools/test_lint_determinism.py
+"""
+
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+LINTER = Path(__file__).resolve().parent / "lint_determinism.py"
+
+# One line per hazard class the linter must catch.
+HAZARDS = {
+    "random-device": "std::random_device dev;",
+    "c-rand": "int x = rand() % 6;",
+    "wall-clock": "auto t = std::chrono::steady_clock::now();",
+    "std-shuffle": "std::shuffle(v.begin(), v.end(), gen);",
+    "unordered-container": "std::unordered_map<int, int> counts;",
+    "hardware-concurrency":
+        "auto n = std::thread::hardware_concurrency();",
+    "std-engine": "std::mt19937 gen;",
+}
+
+
+def run_linter(root: Path, *extra: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(LINTER), str(root), *extra],
+        capture_output=True, text=True, check=False)
+
+
+class LintDeterminismTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = Path(self._tmp.name)
+        (self.root / "src").mkdir()
+        (self.root / "tools").mkdir()
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def write(self, rel: str, text: str) -> None:
+        path = self.root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+
+    def test_clean_tree_passes(self):
+        self.write("src/ok.cpp", "int add(int a, int b) { return a + b; }\n")
+        result = run_linter(self.root)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("no determinism hazards", result.stdout)
+
+    def test_every_hazard_class_is_caught(self):
+        for code, line in HAZARDS.items():
+            with self.subTest(code=code):
+                self.write("src/bad.cpp", line + "\n")
+                result = run_linter(self.root)
+                self.assertEqual(result.returncode, 1,
+                                 f"{code} not caught: {result.stdout}")
+                self.assertIn(f"[{code}]", result.stderr)
+                self.assertIn("src/bad.cpp:1", result.stderr)
+
+    def test_time_call_is_wall_clock_but_names_are_not(self):
+        self.write("src/bad.cpp", "auto seed = time(nullptr);\n")
+        self.assertEqual(run_linter(self.root).returncode, 1)
+        # Identifiers merely containing 'time(' must not trip the check.
+        self.write("src/bad.cpp",
+                   "double parallel_time() const; double t = run_time(x);\n")
+        self.assertEqual(run_linter(self.root).returncode, 0)
+
+    def test_comments_and_strings_do_not_trip(self):
+        self.write("src/doc.cpp",
+                   "// never use std::random_device here\n"
+                   "/* std::shuffle is forbidden\n   rand() too */\n"
+                   'const char* msg = "std::unordered_map is banned";\n')
+        result = run_linter(self.root)
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_allowlist_suppresses_audited_entry(self):
+        self.write("src/pool.cpp",
+                   "auto n = std::thread::hardware_concurrency();\n")
+        self.write("tools/determinism_allowlist.txt",
+                   "# audited: sizing only\n"
+                   "src/pool.cpp:hardware-concurrency\n")
+        result = run_linter(self.root)
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_allowlist_is_per_hazard_not_per_file(self):
+        self.write("src/pool.cpp",
+                   "auto n = std::thread::hardware_concurrency();\n"
+                   "std::random_device dev;\n")
+        self.write("tools/determinism_allowlist.txt",
+                   "src/pool.cpp:hardware-concurrency\n")
+        result = run_linter(self.root)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("[random-device]", result.stderr)
+        self.assertNotIn("[hardware-concurrency]", result.stderr)
+
+    def test_stale_allowlist_entry_fails(self):
+        self.write("src/ok.cpp", "int x = 0;\n")
+        self.write("tools/determinism_allowlist.txt",
+                   "src/ok.cpp:wall-clock\n")
+        result = run_linter(self.root)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("stale allowlist entry", result.stderr)
+
+    def test_malformed_allowlist_is_a_usage_error(self):
+        self.write("src/ok.cpp", "int x = 0;\n")
+        self.write("tools/determinism_allowlist.txt", "not-an-entry\n")
+        self.assertEqual(run_linter(self.root).returncode, 2)
+
+    def test_missing_src_dir_is_a_usage_error(self):
+        result = run_linter(self.root / "nowhere")
+        self.assertEqual(result.returncode, 2)
+
+    def test_findings_name_file_line_and_code(self):
+        self.write("src/deep/nested.hpp",
+                   "int a;\nint b;\nstd::mt19937 gen;\n")
+        result = run_linter(self.root)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("src/deep/nested.hpp:3: [std-engine]", result.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
