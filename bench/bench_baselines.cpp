@@ -11,7 +11,7 @@
 
 #include "bench_common.hpp"
 #include "core/dynamics.hpp"
-#include "core/run.hpp"
+#include "runner/run.hpp"
 #include "core/sync_usd.hpp"
 #include "pp/configuration.hpp"
 #include "runner/csv.hpp"
@@ -64,9 +64,9 @@ int main() {
   report("USD (population)",
          runner::run_trials<Outcome>(
              trials, 0xE9000, [&x0](std::uint64_t seed) {
-               core::RunOptions opts;
+               runner::RunOptions opts;
                opts.track_phases = false;
-               const auto r = core::run_usd(x0, seed, opts);
+               const auto r = runner::run_usd(x0, seed, opts);
                return Outcome{r.parallel_time, r.plurality_won};
              }));
 

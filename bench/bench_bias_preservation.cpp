@@ -10,7 +10,8 @@
 #include <cmath>
 
 #include "bench_common.hpp"
-#include "core/run.hpp"
+#include "core/budget.hpp"
+#include "runner/run.hpp"
 #include "core/usd.hpp"
 #include "pp/configuration.hpp"
 #include "runner/trials.hpp"

@@ -13,7 +13,7 @@
 
 #include "bench_common.hpp"
 #include "core/bias.hpp"
-#include "core/run.hpp"
+#include "runner/run.hpp"
 #include "gossip/gossip_usd.hpp"
 #include "pp/configuration.hpp"
 #include "runner/csv.hpp"
@@ -46,9 +46,9 @@ int main() {
     const auto pop_times = runner::run_trials_samples(
         trials, 0xE8000 + static_cast<std::uint64_t>(ratio * 100),
         [&x0](std::uint64_t seed) {
-          core::RunOptions opts;
+          runner::RunOptions opts;
           opts.track_phases = false;
-          return core::run_usd(x0, seed, opts).parallel_time;
+          return runner::run_usd(x0, seed, opts).parallel_time;
         });
     const auto gossip_rounds = runner::run_trials_samples(
         trials, 0xE8100 + static_cast<std::uint64_t>(ratio * 100),

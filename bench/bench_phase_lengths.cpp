@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "core/run.hpp"
+#include "runner/run.hpp"
 #include "runner/scale.hpp"
 #include "runner/table.hpp"
 #include "runner/trials.hpp"
@@ -35,13 +35,13 @@ struct PhaseRow {
 
 PhaseRow measure(pp::Count n, int k, std::uint64_t seed) {
   const auto x0 = pp::Configuration::uniform(n, k, 0);
-  core::RunOptions opts;
+  runner::RunOptions opts;
   opts.engine = "batched";
   opts.batch.policy = core::ChunkPolicy::kAdaptive;
   // 64 snapshots per n of parallel time: far below phase lengths, and the
   // batched observer clamps chunks so milestones are boundary-exact.
   opts.observe_interval = std::max<pp::Count>(1, n / 64);
-  const auto r = core::run_usd(x0, seed, opts);
+  const auto r = runner::run_usd(x0, seed, opts);
   PhaseRow row;
   if (!r.converged || !r.phases.complete()) return row;
   row.ok = true;

@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "core/run.hpp"
+#include "runner/run.hpp"
 #include "pp/configuration.hpp"
 #include "runner/csv.hpp"
 #include "runner/trials.hpp"
@@ -29,9 +29,9 @@ struct PhaseRow {
 
 PhaseRow measure(pp::Count n, int k, std::uint64_t seed) {
   const auto x0 = pp::Configuration::uniform(n, k, 0);
-  core::RunOptions opts;
+  runner::RunOptions opts;
   opts.observe_interval = std::max<pp::Count>(1, n / 32);
-  const auto r = core::run_usd(x0, seed, opts);
+  const auto r = runner::run_usd(x0, seed, opts);
   PhaseRow row;
   if (!r.converged || !r.phases.complete()) return row;
   row.ok = true;

@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "core/run.hpp"
+#include "runner/run.hpp"
 #include "pp/configuration.hpp"
 #include "runner/csv.hpp"
 #include "runner/trials.hpp"
@@ -26,9 +26,9 @@ struct Outcome {
 };
 
 Outcome measure(const pp::Configuration& x0, std::uint64_t seed) {
-  core::RunOptions opts;
+  runner::RunOptions opts;
   opts.track_phases = false;
-  const auto r = core::run_usd(x0, seed, opts);
+  const auto r = runner::run_usd(x0, seed, opts);
   return {static_cast<double>(r.interactions),
           r.converged && r.plurality_won};
 }

@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "core/run.hpp"
+#include "runner/run.hpp"
 #include "pp/configuration.hpp"
 #include "runner/csv.hpp"
 #include "runner/trials.hpp"
@@ -46,9 +46,9 @@ int main() {
       const auto rows = runner::run_trials<Outcome>(
           trials, 0xE4000 + n * 7 + static_cast<pp::Count>(k),
           [&x0](std::uint64_t seed) {
-            core::RunOptions opts;
+            runner::RunOptions opts;
             opts.track_phases = false;
-            const auto r = core::run_usd(x0, seed, opts);
+            const auto r = runner::run_usd(x0, seed, opts);
             return Outcome{static_cast<double>(r.interactions), r.winner,
                            r.converged && r.winner_initially_significant};
           });

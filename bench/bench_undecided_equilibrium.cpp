@@ -13,7 +13,8 @@
 
 #include "analysis/transition_probs.hpp"
 #include "bench_common.hpp"
-#include "core/run.hpp"
+#include "core/budget.hpp"
+#include "runner/run.hpp"
 #include "core/usd.hpp"
 #include "pp/configuration.hpp"
 #include "runner/csv.hpp"

@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "core/run.hpp"
+#include "runner/run.hpp"
 #include "pp/configuration.hpp"
 #include "runner/csv.hpp"
 #include "runner/trials.hpp"
@@ -42,9 +42,9 @@ int main() {
           0xE7000 + static_cast<std::uint64_t>(c * 100) +
               static_cast<std::uint64_t>(k),
           [&x0](std::uint64_t seed) {
-            core::RunOptions opts;
+            runner::RunOptions opts;
             opts.track_phases = false;
-            const auto r = core::run_usd(x0, seed, opts);
+            const auto r = runner::run_usd(x0, seed, opts);
             return r.converged && r.plurality_won ? 1 : 0;
           });
       int won = 0;

@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "core/dynamics.hpp"
-#include "core/run.hpp"
+#include "runner/run.hpp"
 #include "core/sync_usd.hpp"
 #include "pp/configuration.hpp"
 #include "runner/table.hpp"
@@ -38,9 +38,9 @@ int main(int argc, char** argv) {
     double total = 0.0;
     int wins = 0;
     for (int t = 0; t < trials; ++t) {
-      core::RunOptions opts;
+      runner::RunOptions opts;
       opts.track_phases = false;
-      const auto r = core::run_usd(
+      const auto r = runner::run_usd(
           initial, rng::stream_seed(1, static_cast<std::uint64_t>(t)),
           opts);
       total += r.parallel_time;

@@ -10,7 +10,8 @@
 
 #include "analysis/transition_probs.hpp"
 #include "core/bias.hpp"
-#include "core/run.hpp"
+#include "core/budget.hpp"
+#include "runner/run.hpp"
 #include "core/phase_tracker.hpp"
 #include "core/usd.hpp"
 #include "pp/configuration.hpp"

@@ -8,7 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/run.hpp"
+#include "runner/run.hpp"
 #include "pp/configuration.hpp"
 
 int main(int argc, char** argv) {
@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   std::printf("USD with n = %llu agents, k = %d opinions, unbiased start\n",
               static_cast<unsigned long long>(n), k);
 
-  const auto result = core::run_usd(initial, /*seed=*/2023);
+  const auto result = runner::run_usd(initial, /*seed=*/2023);
 
   if (!result.converged) {
     std::printf("did not converge within the interaction cap\n");

@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "core/bias.hpp"
-#include "core/run.hpp"
+#include "runner/run.hpp"
 #include "pp/configuration.hpp"
 #include "rng/rng.hpp"
 #include "runner/trials.hpp"
@@ -47,9 +47,9 @@ int main(int argc, char** argv) {
           ++votes[static_cast<std::size_t>(reading)];
         }
         const pp::Configuration initial(votes, 0);
-        core::RunOptions opts;
+        runner::RunOptions opts;
         opts.track_phases = false;
-        const auto result = core::run_usd(initial, rng.next_u64(), opts);
+        const auto result = runner::run_usd(initial, rng.next_u64(), opts);
         return result.converged && result.winner == true_class ? 1 : 0;
       });
 

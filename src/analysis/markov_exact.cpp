@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "pp/configuration.hpp"
 #include "util/check.hpp"
 
 namespace kusd::analysis {

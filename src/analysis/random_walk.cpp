@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "rng/rng.hpp"
 #include "util/check.hpp"
 
 namespace kusd::analysis {

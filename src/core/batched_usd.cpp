@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/stepping.hpp"
+#include "pp/configuration.hpp"
+#include "rng/rng.hpp"
 #include "util/check.hpp"
 
 namespace kusd::core {

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "pp/configuration.hpp"
 #include "util/check.hpp"
 
 namespace kusd::core {

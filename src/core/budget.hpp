@@ -1,0 +1,29 @@
+// Default native-time budgets for the asynchronous engines.
+//
+// Lives in core (not runner) so the sim-layer engine adapters can publish
+// their default budgets without reaching up the layer stack: the layering
+// contract is util/rng/stats/urn -> core/pp/... -> sim -> runner, and this
+// cap is needed on both sides of the sim boundary.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "pp/configuration.hpp"
+
+namespace kusd::core {
+
+/// Generous default interaction cap for the asynchronous engines:
+/// 64 * k * n * (ln n + 1) — several times the paper's O(k n log n)
+/// convergence bound. Used when a driver passes cap 0.
+[[nodiscard]] inline std::uint64_t default_interaction_cap(pp::Count n,
+                                                           int k) {
+  const double dn = static_cast<double>(n);
+  const double cap = 64.0 * static_cast<double>(k) * dn * (std::log(dn) + 1.0);
+  // Populations the batched engine reaches can push the formula past
+  // uint64 range; saturate instead of an unrepresentable (UB) cast.
+  constexpr double kMax = 18446744073709549568.0;  // largest double < 2^64
+  return cap >= kMax ? ~std::uint64_t{0} : static_cast<std::uint64_t>(cap);
+}
+
+}  // namespace kusd::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "pp/configuration.hpp"
 #include "util/check.hpp"
 
 namespace kusd::core {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "pp/configuration.hpp"
+#include "rng/rng.hpp"
 #include "util/check.hpp"
 
 namespace kusd::core {

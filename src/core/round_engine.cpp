@@ -1,5 +1,7 @@
 #include "core/round_engine.hpp"
 
+#include "pp/configuration.hpp"
+#include "rng/rng.hpp"
 #include "util/check.hpp"
 
 namespace kusd::core {

@@ -1,6 +1,9 @@
 #include "core/usd.hpp"
 
 #include "core/stepping.hpp"
+#include "pp/configuration.hpp"
+#include "pp/protocol.hpp"
+#include "rng/rng.hpp"
 #include "util/check.hpp"
 
 namespace kusd::core {
@@ -47,7 +50,7 @@ UsdSimulator::UsdSimulator(const pp::Configuration& initial, rng::Rng rng,
       mode_(options.mode) {
   KUSD_CHECK_MSG(mode_ != StepMode::kBatchedRounds,
                  "StepMode::kBatchedRounds is served by BatchedUsdSimulator "
-                 "(use core::run_usd or construct it directly)");
+                 "(use runner::run_usd or construct it directly)");
   KUSD_CHECK_MSG(n_ < (std::uint64_t{1} << 32),
                  "population must fit in 32 bits (n^2 must fit in 64)");
   KUSD_CHECK_MSG(initial.decided() >= 1,

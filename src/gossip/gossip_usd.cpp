@@ -1,5 +1,7 @@
 #include "gossip/gossip_usd.hpp"
 
+#include "pp/configuration.hpp"
+#include "rng/rng.hpp"
 #include "util/check.hpp"
 
 namespace kusd::gossip {

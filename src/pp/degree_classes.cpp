@@ -5,6 +5,7 @@
 #include <map>
 
 #include "pp/graph.hpp"
+#include "rng/rng.hpp"
 #include "util/check.hpp"
 
 namespace kusd::pp {

@@ -4,6 +4,7 @@
 #include <queue>
 #include <set>
 
+#include "rng/rng.hpp"
 #include "util/check.hpp"
 
 namespace kusd::pp {

@@ -1,5 +1,6 @@
 #include "pp/graph_scheduler.hpp"
 
+#include "rng/rng.hpp"
 #include "util/check.hpp"
 
 namespace kusd::pp {

@@ -1,5 +1,7 @@
 #include "pp/scheduler.hpp"
 
+#include "rng/rng.hpp"
+#include "urn/urn.hpp"
 #include "util/check.hpp"
 
 namespace kusd::pp {

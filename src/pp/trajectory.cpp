@@ -1,6 +1,5 @@
 #include "pp/trajectory.hpp"
 
-#include "runner/csv.hpp"
 #include "util/check.hpp"
 
 namespace kusd::pp {
@@ -37,16 +36,6 @@ void Trajectory::record(std::uint64_t t, std::span<const Count> opinions,
     }
     points_ = std::move(kept);
     stride_ *= 2;
-  }
-}
-
-void Trajectory::write_csv(const std::string& path) const {
-  runner::CsvWriter csv(path,
-                        {"t", "undecided", "xmax", "second", "sum_squares"});
-  for (const auto& pt : points_) {
-    csv.write_row({std::to_string(pt.t), std::to_string(pt.undecided),
-                   std::to_string(pt.xmax), std::to_string(pt.second),
-                   std::to_string(pt.sum_squares)});
   }
 }
 

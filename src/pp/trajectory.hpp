@@ -5,7 +5,6 @@
 
 #include <cstdint>
 #include <span>
-#include <string>
 #include <vector>
 
 #include "pp/configuration.hpp"
@@ -36,9 +35,6 @@ class Trajectory {
   [[nodiscard]] const std::vector<TrajectoryPoint>& points() const {
     return points_;
   }
-
-  /// Write t, undecided, xmax, second, sum_squares rows to a CSV file.
-  void write_csv(const std::string& path) const;
 
  private:
   std::size_t max_points_;

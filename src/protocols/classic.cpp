@@ -1,5 +1,7 @@
 #include "protocols/classic.hpp"
 
+
+#include "pp/protocol.hpp"
 namespace kusd::protocols {
 
 pp::PairTransition ExactMajorityProtocol::apply(int responder,

@@ -1,5 +1,6 @@
 #include "runner/csv.hpp"
 
+#include "pp/trajectory.hpp"
 #include "util/check.hpp"
 
 namespace kusd::runner {
@@ -38,6 +39,16 @@ void CsvWriter::write_cells(const std::vector<std::string>& cells) {
     out_ << escape(cells[i]);
   }
   out_ << '\n';
+}
+
+void write_trajectory_csv(const pp::Trajectory& trajectory,
+                          const std::string& path) {
+  CsvWriter csv(path, {"t", "undecided", "xmax", "second", "sum_squares"});
+  for (const auto& pt : trajectory.points()) {
+    csv.write_row({std::to_string(pt.t), std::to_string(pt.undecided),
+                   std::to_string(pt.xmax), std::to_string(pt.second),
+                   std::to_string(pt.sum_squares)});
+  }
 }
 
 }  // namespace kusd::runner

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "pp/trajectory.hpp"
+
 namespace kusd::runner {
 
 class CsvWriter {
@@ -25,5 +27,11 @@ class CsvWriter {
   std::ofstream out_;
   std::size_t width_;
 };
+
+/// Write a recorded trajectory as t, undecided, xmax, second, sum_squares
+/// rows. Lives here rather than on pp::Trajectory so the pp layer does not
+/// depend upward on runner's CSV machinery.
+void write_trajectory_csv(const pp::Trajectory& trajectory,
+                          const std::string& path);
 
 }  // namespace kusd::runner

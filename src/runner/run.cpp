@@ -1,22 +1,14 @@
-#include "core/run.hpp"
+#include "runner/run.hpp"
 
-#include <algorithm>
-#include <cmath>
+#include <span>
+#include <string>
 
 #include "core/bias.hpp"
+#include "core/budget.hpp"
+#include "pp/configuration.hpp"
 #include "sim/registry.hpp"
-#include "util/check.hpp"
 
-namespace kusd::core {
-
-std::uint64_t default_interaction_cap(pp::Count n, int k) {
-  const double dn = static_cast<double>(n);
-  const double cap = 64.0 * static_cast<double>(k) * dn * (std::log(dn) + 1.0);
-  // Populations the batched engine reaches can push the formula past
-  // uint64 range; saturate instead of an unrepresentable (UB) cast.
-  constexpr double kMax = 18446744073709549568.0;  // largest double < 2^64
-  return cap >= kMax ? ~std::uint64_t{0} : static_cast<std::uint64_t>(cap);
-}
+namespace kusd::runner {
 
 RunResult run_usd(const pp::Configuration& initial, std::uint64_t seed,
                   RunOptions options) {
@@ -29,8 +21,9 @@ RunResult run_usd(const pp::Configuration& initial, std::uint64_t seed,
   engine_options.batch = options.batch;
   engine_options.urn = options.urn;
   engine_options.graph = options.graph;
-  const std::string name =
-      options.engine.empty() ? engine_name(options.mode) : options.engine;
+  const std::string name = options.engine.empty()
+                               ? core::engine_name(options.mode)
+                               : options.engine;
   const auto engine =
       sim::Registry::instance().create(name, initial, seed, engine_options);
 
@@ -51,7 +44,7 @@ RunResult run_usd(const pp::Configuration& initial, std::uint64_t seed,
     return result;
   }
   if (options.track_phases) {
-    PhaseTracker tracker(initial.n(), options.alpha);
+    core::PhaseTracker tracker(initial.n(), options.alpha);
     const std::uint64_t interval = options.observe_interval != 0
                                        ? options.observe_interval
                                        : engine->default_observe_interval();
@@ -72,9 +65,9 @@ RunResult run_usd(const pp::Configuration& initial, std::uint64_t seed,
     result.winner = engine->consensus_opinion();
     result.plurality_won = result.winner == result.initial_plurality;
     result.winner_initially_significant =
-        is_significant(initial, result.winner, options.alpha);
+        core::is_significant(initial, result.winner, options.alpha);
   }
   return result;
 }
 
-}  // namespace kusd::core
+}  // namespace kusd::runner

@@ -8,10 +8,13 @@
 // RunOptions::engine, which also opens the round models ("sync",
 // "gossip") and the graph-restricted scheduler ("graph", with
 // RunOptions::graph selecting the topology).
+//
+// This driver lives in runner — above sim in the layering DAG — because
+// it resolves engines by name through the registry; core stays below sim
+// and never sees the engine roster.
 #pragma once
 
 #include <cstdint>
-#include <optional>
 #include <string>
 
 #include "core/batched_usd.hpp"
@@ -19,8 +22,9 @@
 #include "core/usd.hpp"
 #include "pp/configuration.hpp"
 #include "sim/graph_spec.hpp"
+#include "urn/urn.hpp"
 
-namespace kusd::core {
+namespace kusd::runner {
 
 struct RunOptions {
   /// Hard cap in the engine's native time unit (interactions for the
@@ -29,7 +33,7 @@ struct RunOptions {
   /// 64 * k * n * (ln n + 1) — several times the paper's O(k n log n)).
   std::uint64_t max_interactions = 0;
   /// Legacy engine selector, used when `engine` is empty.
-  StepMode mode = StepMode::kSkipUnproductive;
+  core::StepMode mode = core::StepMode::kSkipUnproductive;
   /// sim::Registry name of the engine to run ("every", "skip", "batched",
   /// "sync", "gossip", "graph", or anything registered); empty derives
   /// the name from `mode`.
@@ -38,7 +42,7 @@ struct RunOptions {
   urn::UrnEngine urn = urn::UrnEngine::kAuto;
   /// Chunk schedule for the batched engine: fixed chunk fraction or the
   /// error-controlled adaptive policy (see chunk_controller.hpp).
-  BatchedOptions batch;
+  core::BatchedOptions batch;
   /// Topology for the graph engine.
   sim::GraphSpec graph;
   /// Track T1..T5; snapshots are taken every `observe_interval` native
@@ -61,7 +65,7 @@ struct RunResult {
   /// Cross-engine comparable time: interactions / n for the asynchronous
   /// engines, total rounds for sync/gossip.
   double parallel_time = 0.0;
-  PhaseTimes phases;
+  core::PhaseTimes phases;
 
   // Outcome vs the initial configuration:
   int initial_plurality = -1;
@@ -71,12 +75,8 @@ struct RunResult {
   bool winner_initially_significant = false;
 };
 
-/// Default interaction cap used by the asynchronous engines when
-/// RunOptions::max_interactions == 0.
-[[nodiscard]] std::uint64_t default_interaction_cap(pp::Count n, int k);
-
 /// Run the USD once from `initial` with a deterministic seed.
 [[nodiscard]] RunResult run_usd(const pp::Configuration& initial,
                                 std::uint64_t seed, RunOptions options = {});
 
-}  // namespace kusd::core
+}  // namespace kusd::runner

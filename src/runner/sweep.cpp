@@ -7,7 +7,7 @@
 #include <sstream>
 #include <utility>
 
-#include "core/run.hpp"
+#include "core/budget.hpp"
 #include "pp/degree_classes.hpp"
 #include "rng/rng.hpp"
 #include "runner/table.hpp"

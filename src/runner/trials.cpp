@@ -1,5 +1,7 @@
 #include "runner/trials.hpp"
 
+
+#include "stats/summary.hpp"
 namespace kusd::runner {
 
 stats::Samples run_trials_samples(

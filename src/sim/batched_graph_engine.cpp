@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
-#include "core/run.hpp"
+#include "core/budget.hpp"
+#include "pp/configuration.hpp"
+#include "pp/degree_classes.hpp"
+#include "rng/rng.hpp"
 #include "sim/graph_spec.hpp"
 #include "util/check.hpp"
 

@@ -5,7 +5,7 @@
 // sim::Engine: construct from a pp::Configuration and a 64-bit seed,
 // advance() through native time, inspect incremental counts()/undecided(),
 // and compare across engines through parallel_time(). The experiment
-// drivers (core::run_usd, runner::Sweep, kusd_cli) are written once
+// drivers (runner::run_usd, runner::Sweep, kusd_cli) are written once
 // against this interface and resolve concrete engines through the
 // string-keyed sim::Registry, so adding an engine is a one-file change:
 // implement the adapter, register it, and every driver (run/sweep/bench,
@@ -115,7 +115,7 @@ class Engine {
   /// vertices" for aggregated degree models. nullopt for engines without
   /// a topology (complete-graph dynamics are always connected). Drivers
   /// use a `false` here to short-circuit default-budget runs that could
-  /// only end in a timeout (see core::run_usd and runner::Sweep).
+  /// only end in a timeout (see runner::run_usd and runner::Sweep).
   [[nodiscard]] virtual std::optional<bool> topology_connected() const {
     return std::nullopt;
   }

@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "core/batched_usd.hpp"
-#include "core/run.hpp"
+#include "core/budget.hpp"
 #include "core/sync_usd.hpp"
 #include "core/usd.hpp"
 #include "gossip/gossip_usd.hpp"
@@ -18,6 +18,7 @@
 #include "rng/rng.hpp"
 #include "sim/batched_graph_engine.hpp"
 #include "sim/graph_spec.hpp"
+#include "urn/urn.hpp"
 #include "util/check.hpp"
 
 namespace kusd::sim {

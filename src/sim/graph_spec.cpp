@@ -6,6 +6,9 @@
 #include <cstdlib>
 #include <limits>
 
+#include "pp/degree_classes.hpp"
+#include "pp/graph.hpp"
+#include "rng/rng.hpp"
 #include "util/check.hpp"
 
 namespace kusd::sim {

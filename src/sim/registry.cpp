@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "pp/configuration.hpp"
 #include "sim/engines.hpp"
 #include "util/check.hpp"
 

@@ -4,7 +4,7 @@
 // sweep's `engine` CSV/JSONL column, and RunOptions::engine — to a factory
 // plus the metadata the drivers need to validate a request upfront
 // (population caps, start-profile constraints, which option groups the
-// engine reads). All engine construction in core::run_usd, runner::Sweep
+// engine reads). All engine construction in runner::run_usd, runner::Sweep
 // and kusd_cli goes through here; there is no per-engine switch anywhere
 // above the adapters.
 //
@@ -68,7 +68,7 @@ struct EngineInfo {
 class Registry {
  public:
   /// A fresh registry pre-populated with the built-in engines (every,
-  /// skip, batched, sync, gossip, graph).
+  /// skip, batched, sync, gossip, graph, graph-batched).
   Registry();
 
   /// The process-wide registry used by run_usd / Sweep / the CLI.

@@ -1,5 +1,7 @@
 #include "urn/urn.hpp"
 
+
+#include "rng/rng.hpp"
 namespace kusd::urn {
 
 Urn::Urn(std::span<const std::uint64_t> counts, UrnEngine engine) {

@@ -11,7 +11,7 @@
 
 #include "core/chunk_controller.hpp"
 #include "core/round_engine.hpp"
-#include "core/run.hpp"
+#include "runner/run.hpp"
 #include "pp/configuration.hpp"
 #include "pp/degree_classes.hpp"
 #include "pp/graph.hpp"
@@ -389,11 +389,11 @@ TEST(BatchedGraphEngine, RunObservedVisitsIntervalBoundaries) {
 
 TEST(BatchedGraphEngine, RunUsdResolvesItThroughTheRegistry) {
   const auto x0 = Configuration::uniform(4096, 2, 0);
-  core::RunOptions options;
+  runner::RunOptions options;
   options.engine = "graph-batched";
   options.graph = GraphSpec{GraphSpec::Kind::kRegular, 8};
   options.batch.policy = core::ChunkPolicy::kAdaptive;
-  const auto result = core::run_usd(x0, 47, options);
+  const auto result = runner::run_usd(x0, 47, options);
   ASSERT_TRUE(result.converged);
   EXPECT_TRUE(result.phases.complete());
   EXPECT_GT(result.parallel_time, 0.0);

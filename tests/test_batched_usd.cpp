@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "core/batched_usd.hpp"
-#include "core/run.hpp"
+#include "runner/run.hpp"
 #include "core/usd.hpp"
 #include "pp/configuration.hpp"
 #include "rng/rng.hpp"
@@ -185,10 +185,10 @@ TEST(BatchedUsd, RunObservedNeverOvershootsTheCap) {
 }
 
 TEST(BatchedUsd, RunUsdDispatchesBatchedMode) {
-  core::RunOptions opts;
+  runner::RunOptions opts;
   opts.mode = StepMode::kBatchedRounds;
   const auto result =
-      core::run_usd(Configuration::uniform(20000, 4, 0), 77, opts);
+      runner::run_usd(Configuration::uniform(20000, 4, 0), 77, opts);
   EXPECT_TRUE(result.converged);
   EXPECT_GE(result.winner, 0);
   EXPECT_GT(result.parallel_time, 0.0);

@@ -5,7 +5,7 @@
 
 #include <cstdint>
 
-#include "core/run.hpp"
+#include "runner/run.hpp"
 #include "core/usd.hpp"
 #include "gossip/gossip_usd.hpp"
 #include "pp/configuration.hpp"
@@ -119,7 +119,7 @@ TEST(EdgeCases, GossipTwoAgents) {
 }
 
 TEST(EdgeCases, RunUsdSmallestPopulation) {
-  const auto r = core::run_usd(Configuration({1, 1}, 0), 3);
+  const auto r = runner::run_usd(Configuration({1, 1}, 0), 3);
   EXPECT_TRUE(r.converged);
   EXPECT_TRUE(r.phases.complete());
 }
@@ -130,16 +130,16 @@ TEST(EdgeCases, RunUsdCustomAlphaAffectsPhase2Detection) {
   // phases wait for earlier ones, T3..T5 stay empty too, even though the
   // process itself converges. alpha only changes detection, not dynamics.
   const auto x0 = Configuration::uniform(2000, 3, 0);
-  core::RunOptions strict;
+  runner::RunOptions strict;
   strict.alpha = 100.0;
-  const auto r = core::run_usd(x0, 5, strict);
+  const auto r = runner::run_usd(x0, 5, strict);
   ASSERT_TRUE(r.converged);
   EXPECT_TRUE(r.phases.t1.has_value());
   EXPECT_FALSE(r.phases.t2.has_value());
   EXPECT_FALSE(r.phases.t5.has_value());
   // Same seed with the default alpha: identical dynamics, full phases.
-  core::RunOptions normal;
-  const auto r2 = core::run_usd(x0, 5, normal);
+  runner::RunOptions normal;
+  const auto r2 = runner::run_usd(x0, 5, normal);
   EXPECT_EQ(r2.interactions, r.interactions);
   EXPECT_EQ(r2.winner, r.winner);
   EXPECT_TRUE(r2.phases.complete());

@@ -7,7 +7,8 @@
 #include <vector>
 
 #include "core/bias.hpp"
-#include "core/run.hpp"
+#include "core/budget.hpp"
+#include "runner/run.hpp"
 #include "pp/configuration.hpp"
 #include "runner/trials.hpp"
 #include "stats/regression.hpp"
@@ -16,8 +17,8 @@
 namespace kusd {
 namespace {
 
-using core::run_usd;
-using core::RunOptions;
+using runner::run_usd;
+using runner::RunOptions;
 using pp::Configuration;
 
 RunOptions fast_opts() {

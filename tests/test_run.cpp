@@ -2,14 +2,15 @@
 // tracker + outcome classification).
 #include <gtest/gtest.h>
 
-#include "core/run.hpp"
+#include "core/budget.hpp"
+#include "runner/run.hpp"
 #include "pp/configuration.hpp"
 
 namespace kusd {
 namespace {
 
-using core::run_usd;
-using core::RunOptions;
+using runner::run_usd;
+using runner::RunOptions;
 using pp::Configuration;
 
 TEST(RunUsd, ConvergesAndClassifiesOutcome) {

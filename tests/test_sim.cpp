@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "core/batched_usd.hpp"
-#include "core/run.hpp"
+#include "runner/run.hpp"
 #include "core/sync_usd.hpp"
 #include "core/usd.hpp"
 #include "gossip/gossip_usd.hpp"
@@ -367,25 +367,25 @@ TEST(GraphEngine, CompleteTopologyMatchesSkipEngineDistribution) {
 
 TEST(RunUsd, EngineNameSelectsTheEngine) {
   const auto x0 = Configuration::uniform(500, 2, 0);
-  core::RunOptions options;
+  runner::RunOptions options;
   options.engine = "sync";
   options.track_phases = false;
-  const auto result = core::run_usd(x0, 3, options);
+  const auto result = runner::run_usd(x0, 3, options);
   ASSERT_TRUE(result.converged);
   // Native time for sync is super-rounds: polylog, nowhere near the
   // interaction counts of the asynchronous engines.
   EXPECT_LT(result.interactions, 1000u);
-  core::RunOptions unknown;
+  runner::RunOptions unknown;
   unknown.engine = "warp-drive";
-  EXPECT_THROW((void)core::run_usd(x0, 3, unknown), util::CheckError);
+  EXPECT_THROW((void)runner::run_usd(x0, 3, unknown), util::CheckError);
 }
 
 TEST(RunUsd, GraphEngineRunsWithTopology) {
   const auto x0 = Configuration::uniform(80, 2, 0);
-  core::RunOptions options;
+  runner::RunOptions options;
   options.engine = "graph";
   options.graph = GraphSpec{GraphSpec::Kind::kRegular, 4};
-  const auto result = core::run_usd(x0, 5, options);
+  const auto result = runner::run_usd(x0, 5, options);
   ASSERT_TRUE(result.converged);
   EXPECT_TRUE(result.phases.complete());
   EXPECT_GT(result.parallel_time, 0.0);
@@ -396,10 +396,10 @@ TEST(RunUsd, LegacyStepModeStillResolvesThroughTheRegistry) {
   for (const auto mode :
        {core::StepMode::kEveryInteraction, core::StepMode::kSkipUnproductive,
         core::StepMode::kBatchedRounds}) {
-    core::RunOptions options;
+    runner::RunOptions options;
     options.mode = mode;
     options.track_phases = false;
-    const auto result = core::run_usd(x0, 9, options);
+    const auto result = runner::run_usd(x0, 9, options);
     EXPECT_TRUE(result.converged) << core::engine_name(mode);
   }
 }

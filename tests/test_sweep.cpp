@@ -8,7 +8,8 @@
 #include <string>
 #include <vector>
 
-#include "core/run.hpp"
+#include "core/budget.hpp"
+#include "runner/run.hpp"
 #include "runner/sweep.hpp"
 #include "sim/registry.hpp"
 #include "util/check.hpp"

@@ -9,6 +9,7 @@
 #include "core/usd.hpp"
 #include "pp/configuration.hpp"
 #include "pp/trajectory.hpp"
+#include "runner/csv.hpp"
 #include "util/check.hpp"
 
 namespace kusd {
@@ -60,7 +61,7 @@ TEST(Trajectory, CsvRoundTrip) {
   traj.record(0, std::vector<pp::Count>{7, 2}, 1);
   traj.record(5, std::vector<pp::Count>{8, 1}, 1);
   const std::string path = "/tmp/kusd_trajectory_test.csv";
-  traj.write_csv(path);
+  runner::write_trajectory_csv(traj, path);
   std::ifstream in(path);
   std::stringstream buf;
   buf << in.rdbuf();

@@ -1,71 +1,40 @@
 #!/usr/bin/env python3
-"""Fail on dead intra-repo links in the repo's markdown files.
+"""Fail on dead intra-repo links in the repo's markdown files (shim).
 
-Scans README.md and every *.md under docs/ (plus the other root-level
-markdown files) for inline markdown links and bare reference definitions,
-and checks that every relative target resolves to an existing file or
-directory. External links (http/https/mailto) and pure in-page anchors
-are skipped — this is a link-rot check for the repo's own docs, meant to
-run offline in CI, not a crawler.
+The check now lives in the kusdlint framework
+(tools/kusdlint/passes/doc_links.py); this wrapper keeps the historical
+command-line surface and output format. New callers should prefer:
+
+  lint_all.py --pass doc-links [root]
 
 Usage: check_doc_links.py [repo_root]     (exit 1 and list dead links)
 """
 
-import re
 import sys
 from pathlib import Path
 
-# Inline links/images: [text](target) / ![alt](target), plus reference
-# definitions: [label]: target
-INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
-REFERENCE_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
-EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-
-def markdown_files(root: Path) -> list[Path]:
-    files = sorted(root.glob("*.md"))
-    docs = root / "docs"
-    if docs.is_dir():
-        files += sorted(docs.rglob("*.md"))
-    return files
-
-
-def strip_code_blocks(text: str) -> str:
-    """Drop fenced code blocks: CLI examples are not links."""
-    return re.sub(r"```.*?```", "", text, flags=re.DOTALL)
-
-
-def check_file(path: Path, root: Path) -> list[str]:
-    text = strip_code_blocks(path.read_text(encoding="utf-8"))
-    targets = INLINE_LINK.findall(text) + REFERENCE_DEF.findall(text)
-    errors = []
-    for target in targets:
-        if target.startswith(EXTERNAL) or target.startswith("#"):
-            continue
-        relative = target.split("#", 1)[0]
-        if not relative:
-            continue
-        resolved = (root if relative.startswith("/") else path.parent) / \
-            relative.lstrip("/")
-        if not resolved.exists():
-            errors.append(f"{path.relative_to(root)}: dead link '{target}'")
-    return errors
+from kusdlint import base  # noqa: E402
+from kusdlint.passes.doc_links import DocLinksPass  # noqa: E402
 
 
 def main() -> int:
     root = Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
-    files = markdown_files(root)
-    if not files:
-        print(f"no markdown files found under {root}", file=sys.stderr)
+    ctx = base.Context(root)
+    lint = DocLinksPass()
+    try:
+        findings = base.run_pass(lint, ctx)
+    except base.UsageError as err:
+        print(err, file=sys.stderr)
         return 1
-    errors = []
-    for path in files:
-        errors += check_file(path, root)
-    if errors:
-        print("\n".join(errors), file=sys.stderr)
-        print(f"{len(errors)} dead link(s)", file=sys.stderr)
+    if findings:
+        for f in findings:
+            print(f"{f.file}: {f.message}", file=sys.stderr)
+        print(f"{len(findings)} dead link(s)", file=sys.stderr)
         return 1
-    print(f"checked {len(files)} markdown files: all intra-repo links resolve")
+    print(f"checked {lint.checked} markdown files: "
+          f"all intra-repo links resolve")
     return 0
 
 

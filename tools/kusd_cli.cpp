@@ -28,7 +28,8 @@
 #include <vector>
 
 #include "analysis/usd_exact.hpp"
-#include "core/run.hpp"
+#include "core/budget.hpp"
+#include "runner/run.hpp"
 #include "pp/configuration.hpp"
 #include "pp/trajectory.hpp"
 #include "runner/csv.hpp"
@@ -180,7 +181,7 @@ pp::Configuration build_config(const Args& args) {
 
 int cmd_run(const Args& args) {
   const auto x0 = build_config(args);
-  core::RunOptions opts;
+  runner::RunOptions opts;
   opts.engine = args.get_string("engine", "");
   if (!opts.engine.empty() &&
       !sim::Registry::instance().contains(opts.engine)) {
@@ -209,7 +210,7 @@ int cmd_run(const Args& args) {
     }
     opts.graph = *graph;
   }
-  const auto result = core::run_usd(x0, args.get_u64("seed", 1), opts);
+  const auto result = runner::run_usd(x0, args.get_u64("seed", 1), opts);
   if (!result.converged) {
     std::printf("no consensus within the time cap\n");
     return 1;
@@ -502,7 +503,7 @@ int cmd_trace(const Args& args) {
                                  pp::Count u) {
                      trajectory.record(t, opinions, u);
                    });
-  trajectory.write_csv(out);
+  runner::write_trajectory_csv(trajectory, out);
   std::printf("wrote %zu snapshots to %s (consensus: %s)\n",
               trajectory.size(), out.c_str(),
               sim.is_consensus() ? "yes" : "no");

@@ -1,0 +1,179 @@
+"""Framework core: findings, allowlists, pass registry, run context.
+
+A pass is a class with a `name`, a one-line `description`, and a
+`run(ctx) -> list[Finding]`. The framework — not the pass — applies the
+pass's allowlist (`tools/<name>_allowlist.txt` by default): a finding
+whose `(file, code)` pair is listed is suppressed, and a listed pair that
+suppressed nothing becomes a *stale-entry* finding, so the allowlist can
+only shrink when the code is cleaned up. That is the same contract the
+original determinism linter shipped with, promoted to every pass.
+"""
+
+import dataclasses
+import sys
+from pathlib import Path
+
+from kusdlint import cpplex
+
+
+class UsageError(Exception):
+    """Bad invocation or malformed config — exit 2, not a lint finding."""
+
+
+@dataclasses.dataclass
+class Finding:
+    file: str  # repo-relative posix path ("" for repo-level findings)
+    line: int  # 1-based; 0 when the finding is file- or repo-level
+    code: str  # per-pass finding class, used in allowlist entries
+    message: str
+    pass_name: str = ""
+
+    def render(self) -> str:
+        where = f"{self.file}:{self.line}" if self.line else (self.file or ".")
+        return f"{where}: [{self.code}] {self.message}"
+
+    def to_json(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+class Allowlist:
+    """`<path>:<code>` entries, one per line; `#` starts a comment.
+
+    Matching marks the entry used; unused entries are stale. A malformed
+    line raises UsageError (a broken allowlist must not silently allow
+    nothing — or everything).
+    """
+
+    def __init__(self, path: Path):
+        self.path = path
+        self.entries: dict[tuple[str, str], dict] = {}
+        if not path.exists():
+            return
+        lines = path.read_text(encoding="utf-8").splitlines()
+        for lineno, raw in enumerate(lines, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            file_part, sep, code = line.rpartition(":")
+            if not sep or not file_part:
+                raise UsageError(
+                    f"{path}:{lineno}: malformed allowlist entry '{line}' "
+                    f"(expected <path>:<code>)")
+            self.entries[(file_part, code)] = {"line": lineno, "used": False}
+
+    def allows(self, file: str, code: str) -> bool:
+        entry = self.entries.get((file, code))
+        if entry is None:
+            return False
+        entry["used"] = True
+        return True
+
+    def stale_findings(self, root: Path, pass_name: str) -> list[Finding]:
+        try:
+            rel = self.path.relative_to(root).as_posix()
+        except ValueError:
+            rel = self.path.as_posix()
+        out = []
+        for (file_part, code), entry in self.entries.items():
+            if entry["used"]:
+                continue
+            out.append(Finding(
+                file=rel, line=entry["line"], code="stale-allowlist",
+                message=f"stale allowlist entry '{file_part}:{code}' "
+                        f"matches nothing — remove it",
+                pass_name=pass_name))
+        return out
+
+
+CPP_SUFFIXES = (".hpp", ".cpp", ".h", ".cc")
+
+
+class Context:
+    """Repo handle shared by the passes: root path plus cached file reads."""
+
+    def __init__(self, root: Path):
+        self.root = Path(root).resolve()
+        self._text_cache: dict[str, str] = {}
+
+    def exists(self, rel: str) -> bool:
+        return (self.root / rel).exists()
+
+    def read(self, rel: str) -> str:
+        if rel not in self._text_cache:
+            self._text_cache[rel] = (self.root / rel).read_text(
+                encoding="utf-8")
+        return self._text_cache[rel]
+
+    def read_stripped(self, rel: str) -> str:
+        return cpplex.strip_noise(self.read(rel))
+
+    def cpp_files(self, *dirs: str) -> list[str]:
+        """Sorted repo-relative paths of C++ sources under the given dirs."""
+        out = []
+        for d in dirs:
+            base = self.root / d
+            if not base.is_dir():
+                continue
+            out += sorted(
+                p.relative_to(self.root).as_posix()
+                for p in base.rglob("*") if p.suffix in CPP_SUFFIXES)
+        return out
+
+
+class Pass:
+    """Base class; subclasses set `name`/`description` and implement run."""
+
+    name = ""
+    description = ""
+
+    def allowlist_path(self, ctx: Context) -> Path:
+        return ctx.root / "tools" / f"{self.name}_allowlist.txt"
+
+    def run(self, ctx: Context) -> list[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator adding a Pass to the global registry."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} needs a non-empty name")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate pass name '{cls.name}'")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def all_passes() -> list[Pass]:
+    import kusdlint.passes  # noqa: F401  (registers on import)
+    return [cls() for _, cls in sorted(_REGISTRY.items())]
+
+
+def get_pass(name: str) -> Pass:
+    import kusdlint.passes  # noqa: F401
+    if name not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise UsageError(f"unknown pass '{name}' (registered: {known})")
+    return _REGISTRY[name]()
+
+
+def run_pass(p: Pass, ctx: Context,
+             allowlist_path: Path | None = None) -> list[Finding]:
+    """Run one pass and apply its allowlist (suppression + stale entries)."""
+    allowlist = Allowlist(allowlist_path or p.allowlist_path(ctx))
+    findings = []
+    for f in p.run(ctx):
+        f.pass_name = p.name
+        if allowlist.allows(f.file, f.code):
+            continue
+        findings.append(f)
+    findings += allowlist.stale_findings(ctx.root, p.name)
+    return findings
+
+
+def print_findings(findings: list[Finding], stream=None) -> None:
+    stream = stream or sys.stderr
+    for f in findings:
+        print(f.render(), file=stream)

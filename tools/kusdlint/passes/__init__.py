@@ -1,0 +1,10 @@
+"""Import every pass module so the @register decorators run."""
+
+from kusdlint.passes import (  # noqa: F401
+    contract_sync,
+    determinism,
+    doc_links,
+    header_self,
+    layering,
+    rng_discipline,
+)

@@ -1,0 +1,124 @@
+"""Determinism hazards in the library sources.
+
+The repo's core contract is bit-reproducibility: every CSV/JSONL byte is
+a pure function of (spec, master_seed), independent of wall clock, host,
+thread count and scheduling. That only stays true if nothing in src/
+smuggles in an unseeded or platform-dependent source of variation. This
+pass scans src/ (the library — bench/, tests/ and tools/ may time
+things) for the specific hazards the contract forbids:
+
+  random-device          std::random_device — nondeterministically seeded
+  c-rand                 rand()/srand() — global hidden state, no streams
+  wall-clock             std::chrono::{system,steady,high_resolution}_clock
+                         or time(...) — wall-clock values feeding logic
+  std-shuffle            std::shuffle/std::sample — an unpinned URBG and a
+                         libstdc++-specific consumption order; use
+                         rng::Rng::shuffle (fixed Fisher-Yates)
+  unordered-container    std::unordered_map/set — iteration order is
+                         unspecified and can differ across libstdc++
+                         versions; use std::map/std::set in the library
+  hardware-concurrency   std::thread::hardware_concurrency — host-shaped;
+                         fine for sizing a worker pool, forbidden for
+                         anything that feeds an output value
+  std-engine             std::mt19937/std::minstd_rand & friends — legal
+                         only as a local detail behind rng::Rng; new uses
+                         need an allowlist entry arguing the stream is
+                         seeded
+
+Audited exceptions live in tools/determinism_allowlist.txt (the
+historical name, kept); see that file for the policy.
+"""
+
+import re
+
+from kusdlint import base
+
+# (code, regex, message). Matched against comment- and string-stripped
+# source lines.
+CHECKS = [
+    (
+        "random-device",
+        re.compile(r"std\s*::\s*random_device"),
+        "std::random_device is nondeterministic; derive seeds via "
+        "rng::stream_seed",
+    ),
+    (
+        "c-rand",
+        re.compile(r"(?<![\w:])s?rand\s*\("),
+        "rand()/srand() use hidden global state; use a seeded rng::Rng",
+    ),
+    (
+        "wall-clock",
+        re.compile(
+            r"std\s*::\s*chrono\s*::\s*"
+            r"(system_clock|steady_clock|high_resolution_clock)"
+        ),
+        "wall-clock reads must not influence simulation state or output "
+        "(timing utilities need an allowlist entry)",
+    ),
+    (
+        "wall-clock",
+        re.compile(r"(?<![\w:])time\s*\(\s*(NULL|nullptr|0|&\w+)?\s*\)"),
+        "time() is a wall-clock seed; derive seeds via rng::stream_seed",
+    ),
+    (
+        "std-shuffle",
+        re.compile(r"std\s*::\s*(shuffle|random_shuffle|sample)\s*[(<]"),
+        "std::shuffle/std::sample consume an URBG in a "
+        "library-implementation-defined order; use rng::Rng::shuffle",
+    ),
+    (
+        "unordered-container",
+        re.compile(r"std\s*::\s*unordered_(map|set|multimap|multiset)"),
+        "unordered container iteration order is unspecified; anything "
+        "feeding output or seeds must use std::map/std::set",
+    ),
+    (
+        "hardware-concurrency",
+        re.compile(r"hardware_concurrency\s*\("),
+        "host-dependent value; legal only for worker-pool sizing that "
+        "cannot reach output values (allowlist entry required)",
+    ),
+    (
+        "std-engine",
+        re.compile(
+            r"std\s*::\s*(mt19937(_64)?|minstd_rand0?|ranlux\w+|"
+            r"default_random_engine|knuth_b)"
+        ),
+        "standard library engines are legal only as an explicitly seeded "
+        "implementation detail behind rng::Rng (allowlist entry required)",
+    ),
+]
+
+
+@base.register
+class DeterminismPass(base.Pass):
+    name = "determinism"
+    description = ("nondeterminism hazards in src/ (clocks, unseeded "
+                   "engines, unordered iteration)")
+
+    def __init__(self, src_dir: str = "src"):
+        self.src_dir = src_dir
+        self.checked = 0
+
+    def allowlist_path(self, ctx):
+        # Historical name, predating the framework; kept so existing
+        # audit entries and docs stay valid.
+        return ctx.root / "tools" / "determinism_allowlist.txt"
+
+    def run(self, ctx):
+        if not (ctx.root / self.src_dir).is_dir():
+            raise base.UsageError(
+                f"no such source directory: {ctx.root / self.src_dir}")
+        findings = []
+        files = ctx.cpp_files(self.src_dir)
+        self.checked = len(files)
+        for rel in files:
+            for lineno, line in enumerate(
+                    ctx.read_stripped(rel).splitlines(), start=1):
+                for code, pattern, message in CHECKS:
+                    if pattern.search(line):
+                        findings.append(base.Finding(
+                            file=rel, line=lineno, code=code,
+                            message=message))
+        return findings

@@ -1,0 +1,65 @@
+"""Dead intra-repo links in the repo's markdown files.
+
+Scans README.md and every *.md under docs/ (plus the other root-level
+markdown files) for inline markdown links and bare reference
+definitions, and checks that every relative target resolves to an
+existing file or directory. External links (http/https/mailto) and pure
+in-page anchors are skipped — this is a link-rot check for the repo's
+own docs, meant to run offline in CI, not a crawler.
+"""
+
+import re
+
+from kusdlint import base
+
+# Inline links/images: [text](target) / ![alt](target), plus reference
+# definitions: [label]: target
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFERENCE_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def strip_code_blocks(text: str) -> str:
+    """Drop fenced code blocks: CLI examples are not links."""
+    return re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+
+
+@base.register
+class DocLinksPass(base.Pass):
+    name = "doc-links"
+    description = "dead intra-repo links in README.md and docs/*.md"
+
+    def __init__(self):
+        self.checked = 0
+
+    def markdown_files(self, ctx) -> list[str]:
+        files = sorted(p.relative_to(ctx.root).as_posix()
+                       for p in ctx.root.glob("*.md"))
+        docs = ctx.root / "docs"
+        if docs.is_dir():
+            files += sorted(p.relative_to(ctx.root).as_posix()
+                            for p in docs.rglob("*.md"))
+        return files
+
+    def run(self, ctx):
+        files = self.markdown_files(ctx)
+        self.checked = len(files)
+        if not files:
+            raise base.UsageError(f"no markdown files found under {ctx.root}")
+        findings = []
+        for rel in files:
+            text = strip_code_blocks(ctx.read(rel))
+            targets = INLINE_LINK.findall(text) + REFERENCE_DEF.findall(text)
+            for target in targets:
+                if target.startswith(EXTERNAL) or target.startswith("#"):
+                    continue
+                relative = target.split("#", 1)[0]
+                if not relative:
+                    continue
+                base_dir = (ctx.root if relative.startswith("/")
+                            else (ctx.root / rel).parent)
+                if not (base_dir / relative.lstrip("/")).exists():
+                    findings.append(base.Finding(
+                        file=rel, line=0, code="dead-link",
+                        message=f"dead link '{target}'"))
+        return findings

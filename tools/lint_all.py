@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Run every kusdlint pass (or a selection) over the repo.
+
+The single lint entrypoint: CI runs `lint_all.py --json lint-report.json .`
+and the smoke ctests run individual passes via `--pass`. Each pass's
+allowlist (tools/<name>_allowlist.txt) is applied by the framework —
+suppressed findings disappear, unused entries surface as stale-allowlist
+findings — so the gate can only loosen through a reviewed allowlist edit.
+
+Usage:
+  lint_all.py [root] [--pass NAME]... [--list] [--json FILE]
+
+Exit status: 0 all selected passes clean, 1 findings, 2 usage/config
+error (unknown pass, malformed allowlist, missing inputs).
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from kusdlint import base  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="run kusdlint passes (see module docstring)")
+    parser.add_argument("root", nargs="?", default=".",
+                        help="repo root (default: cwd)")
+    parser.add_argument("--pass", dest="passes", action="append",
+                        metavar="NAME", default=[],
+                        help="run only this pass (repeatable; default: all)")
+    parser.add_argument("--list", action="store_true",
+                        help="list registered passes and exit")
+    parser.add_argument("--json", metavar="FILE", default=None,
+                        help="also write findings as a JSON report")
+    args = parser.parse_args()
+
+    try:
+        if args.list:
+            for p in base.all_passes():
+                print(f"{p.name:18s} {p.description}")
+            return 0
+
+        ctx = base.Context(Path(args.root))
+        passes = ([base.get_pass(name) for name in args.passes]
+                  if args.passes else base.all_passes())
+
+        all_findings = []
+        summary = []
+        for p in passes:
+            findings = base.run_pass(p, ctx)
+            all_findings += findings
+            checked = getattr(p, "checked", None)
+            scope = f" ({checked} inputs)" if checked is not None else ""
+            status = (f"{len(findings)} finding(s)" if findings
+                      else "clean")
+            summary.append(f"  {p.name:18s} {status}{scope}")
+    except base.UsageError as err:
+        print(err, file=sys.stderr)
+        return 2
+
+    if args.json:
+        report = {
+            "root": str(ctx.root),
+            "passes": [p.name for p in passes],
+            "findings": [f.to_json() for f in all_findings],
+        }
+        Path(args.json).write_text(json.dumps(report, indent=2) + "\n",
+                                   encoding="utf-8")
+
+    if all_findings:
+        base.print_findings(all_findings)
+        print(f"{len(all_findings)} finding(s) across "
+              f"{len(passes)} pass(es); audited exceptions go in "
+              f"tools/<pass>_allowlist.txt (see docs/verification.md)",
+              file=sys.stderr)
+        print("\n".join(summary), file=sys.stderr)
+        return 1
+    print(f"kusdlint: {len(passes)} pass(es) clean")
+    print("\n".join(summary))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,162 +1,28 @@
 #!/usr/bin/env python3
-"""Static determinism lint for the simulation library.
+"""Static determinism lint for the simulation library (compat shim).
 
-The repo's core contract is bit-reproducibility: every CSV/JSONL byte is a
-pure function of (spec, master_seed), independent of wall clock, host,
-thread count and scheduling. That only stays true if nothing in src/
-smuggles in an unseeded or platform-dependent source of variation. This
-linter scans src/ (the library — bench/, tests/ and tools/ may time
-things) for the specific hazards the contract forbids:
+The checks now live in the kusdlint framework
+(tools/kusdlint/passes/determinism.py) so they share lexing, allowlist
+and stale-entry semantics with the other passes; this wrapper keeps the
+historical command-line surface — same flags, same output strings, same
+exit codes — for scripts and muscle memory. New callers should prefer:
 
-  random-device          std::random_device — nondeterministically seeded
-  c-rand                 rand()/srand() — global hidden state, no streams
-  wall-clock             std::chrono::{system,steady,high_resolution}_clock
-                         or time(...) — wall-clock values feeding logic
-  std-shuffle            std::shuffle/std::sample — an unpinned URBG and a
-                         libstdc++-specific consumption order; use
-                         rng::Rng::shuffle (fixed Fisher-Yates)
-  unordered-container    std::unordered_map/set — iteration order is
-                         unspecified and can differ across libstdc++
-                         versions; anything iterating one into output or
-                         seed derivation breaks byte-identity. Use
-                         std::map/std::set in the library.
-  hardware-concurrency   std::thread::hardware_concurrency — host-shaped;
-                         fine for sizing a worker pool, forbidden for
-                         anything that feeds an output value
-  default-seeded-engine  std::mt19937/minstd_rand constructed without an
-                         explicit seed expression is flagged via the
-                         std-engine code below
-  std-engine             std::mt19937/std::minstd_rand & friends — legal
-                         only as a local detail behind rng::Rng (the
-                         binomial sampler does this); new uses need an
-                         allowlist entry arguing the stream is seeded
-
-Audited, legitimate uses are recorded in an allowlist file (default:
-tools/determinism_allowlist.txt) as `<path>:<code>` lines; see that file
-for the policy. Stale allowlist entries (matching nothing) fail the lint
-too, so the allowlist cannot rot into a blanket waiver.
+  lint_all.py --pass determinism [root]
 
 Usage:
   lint_determinism.py [repo_root] [--allowlist FILE] [--src-dir DIR]
 
 Exit status: 0 clean, 1 findings (or stale allowlist entries), 2 usage.
-Line-based and stdlib-only, in the style of check_doc_links.py; comments
-and string literals are stripped before matching, so prose mentioning a
-hazard does not trip it.
 """
 
 import argparse
-import re
 import sys
 from pathlib import Path
 
-# (code, regex, message). Matched against comment- and string-stripped
-# source lines.
-CHECKS = [
-    (
-        "random-device",
-        re.compile(r"std\s*::\s*random_device"),
-        "std::random_device is nondeterministic; derive seeds via "
-        "rng::stream_seed",
-    ),
-    (
-        "c-rand",
-        re.compile(r"(?<![\w:])s?rand\s*\("),
-        "rand()/srand() use hidden global state; use a seeded rng::Rng",
-    ),
-    (
-        "wall-clock",
-        re.compile(
-            r"std\s*::\s*chrono\s*::\s*"
-            r"(system_clock|steady_clock|high_resolution_clock)"
-        ),
-        "wall-clock reads must not influence simulation state or output "
-        "(timing utilities need an allowlist entry)",
-    ),
-    (
-        "wall-clock",
-        re.compile(r"(?<![\w:])time\s*\(\s*(NULL|nullptr|0|&\w+)?\s*\)"),
-        "time() is a wall-clock seed; derive seeds via rng::stream_seed",
-    ),
-    (
-        "std-shuffle",
-        re.compile(r"std\s*::\s*(shuffle|random_shuffle|sample)\s*[(<]"),
-        "std::shuffle/std::sample consume an URBG in a "
-        "library-implementation-defined order; use rng::Rng::shuffle",
-    ),
-    (
-        "unordered-container",
-        re.compile(r"std\s*::\s*unordered_(map|set|multimap|multiset)"),
-        "unordered container iteration order is unspecified; anything "
-        "feeding output or seeds must use std::map/std::set",
-    ),
-    (
-        "hardware-concurrency",
-        re.compile(r"hardware_concurrency\s*\("),
-        "host-dependent value; legal only for worker-pool sizing that "
-        "cannot reach output values (allowlist entry required)",
-    ),
-    (
-        "std-engine",
-        re.compile(
-            r"std\s*::\s*(mt19937(_64)?|minstd_rand0?|ranlux\w+|"
-            r"default_random_engine|knuth_b)"
-        ),
-        "standard library engines are legal only as an explicitly seeded "
-        "implementation detail behind rng::Rng (allowlist entry required)",
-    ),
-]
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-BLOCK_COMMENT = re.compile(r"/\*.*?\*/", re.DOTALL)
-LINE_COMMENT = re.compile(r"//[^\n]*")
-STRING_LITERAL = re.compile(r'"(?:[^"\\\n]|\\.)*"')
-CHAR_LITERAL = re.compile(r"'(?:[^'\\\n]|\\.)*'")
-
-
-def strip_noise(text: str) -> str:
-    """Blank comments and literals, preserving line numbers."""
-
-    def blank(match: re.Match) -> str:
-        return re.sub(r"[^\n]", " ", match.group(0))
-
-    text = STRING_LITERAL.sub(blank, text)
-    text = CHAR_LITERAL.sub(blank, text)
-    text = BLOCK_COMMENT.sub(blank, text)
-    return LINE_COMMENT.sub(blank, text)
-
-
-def load_allowlist(path: Path):
-    """Parse `<path>:<code>` lines; '#' starts a comment."""
-    entries = {}
-    if not path.exists():
-        return entries
-    for lineno, raw in enumerate(path.read_text(encoding="utf-8").splitlines(),
-                                 start=1):
-        line = raw.split("#", 1)[0].strip()
-        if not line:
-            continue
-        file_part, sep, code = line.rpartition(":")
-        if not sep or not file_part:
-            print(f"{path}:{lineno}: malformed allowlist entry '{line}' "
-                  f"(expected <path>:<code>)", file=sys.stderr)
-            sys.exit(2)
-        entries[(file_part, code)] = {"line": lineno, "used": False}
-    return entries
-
-
-def lint_file(path: Path, rel: str, allowlist) -> list[str]:
-    lines = strip_noise(path.read_text(encoding="utf-8")).splitlines()
-    findings = []
-    for lineno, line in enumerate(lines, start=1):
-        for code, pattern, message in CHECKS:
-            if not pattern.search(line):
-                continue
-            entry = allowlist.get((rel, code))
-            if entry is not None:
-                entry["used"] = True
-                continue
-            findings.append(f"{rel}:{lineno}: [{code}] {message}")
-    return findings
+from kusdlint import base  # noqa: E402
+from kusdlint.passes.determinism import DeterminismPass  # noqa: E402
 
 
 def main() -> int:
@@ -172,37 +38,23 @@ def main() -> int:
                              "(default: src)")
     args = parser.parse_args()
 
-    root = Path(args.root).resolve()
-    src = root / args.src_dir
-    if not src.is_dir():
-        print(f"no such source directory: {src}", file=sys.stderr)
-        return 2
+    ctx = base.Context(Path(args.root))
+    lint = DeterminismPass(src_dir=args.src_dir)
     allowlist_path = (Path(args.allowlist) if args.allowlist
-                      else root / "tools" / "determinism_allowlist.txt")
-    allowlist = load_allowlist(allowlist_path)
-
-    files = sorted(p for p in src.rglob("*")
-                   if p.suffix in (".hpp", ".cpp", ".h", ".cc"))
-    findings = []
-    for path in files:
-        rel = path.relative_to(root).as_posix()
-        findings += lint_file(path, rel, allowlist)
-
-    stale = [(key, entry) for key, entry in allowlist.items()
-             if not entry["used"]]
-    for (file_part, code), entry in stale:
-        findings.append(
-            f"{allowlist_path.relative_to(root).as_posix()}:{entry['line']}: "
-            f"stale allowlist entry '{file_part}:{code}' matches nothing — "
-            f"remove it")
+                      else lint.allowlist_path(ctx))
+    try:
+        findings = base.run_pass(lint, ctx, allowlist_path=allowlist_path)
+    except base.UsageError as err:
+        print(err, file=sys.stderr)
+        return 2
 
     if findings:
-        print("\n".join(findings), file=sys.stderr)
+        base.print_findings(findings)
         print(f"{len(findings)} determinism finding(s); audited exceptions "
               f"go in {allowlist_path.name} (see docs/verification.md)",
               file=sys.stderr)
         return 1
-    print(f"checked {len(files)} files under {src.relative_to(root)}: "
+    print(f"checked {lint.checked} files under {args.src_dir}: "
           f"no determinism hazards")
     return 0
 
