@@ -5,6 +5,7 @@
 #include <map>
 
 #include "pp/graph.hpp"
+#include "rng/binomial.hpp"
 #include "rng/rng.hpp"
 #include "util/check.hpp"
 
@@ -49,16 +50,19 @@ DegreeClassModel DegreeClassModel::binomial(Count n, double p, int max_classes,
       std::min<std::uint64_t>(support, static_cast<std::uint64_t>(max_classes)));
 
   // Per-bucket pmf mass and pmf-weighted mean degree, via the log-pmf
-  // (stable for the huge n the aggregated engine exists for).
+  // (stable for the huge n the aggregated engine exists for). All three
+  // factorials are of integers, so rng::log_factorial applies — and
+  // unlike glibc's lgamma it never touches the process-global signgam,
+  // keeping concurrent per-point topology realization race-free.
   const double log_p = std::log(p);
   const double log_q = std::log1p(-p);
-  const double lg_np1 = std::lgamma(trials + 1.0);
+  const double lg_np1 = rng::log_factorial(n - 1);
   std::vector<double> mass(buckets, 0.0);
   std::vector<double> mean_degree(buckets, 0.0);
   for (std::uint64_t d = lo; d <= hi; ++d) {
     const double dd = static_cast<double>(d);
-    const double log_pmf = lg_np1 - std::lgamma(dd + 1.0) -
-                           std::lgamma(trials - dd + 1.0) + dd * log_p +
+    const double log_pmf = lg_np1 - rng::log_factorial(d) -
+                           rng::log_factorial((n - 1) - d) + dd * log_p +
                            (trials - dd) * log_q;
     const double pmf = std::exp(log_pmf);
     const std::uint64_t b = (d - lo) * buckets / support;

@@ -1,8 +1,9 @@
 #include "rng/rng.hpp"
 
+#include <algorithm>
 #include <cmath>
-#include <random>
 
+#include "rng/binomial.hpp"
 #include "util/check.hpp"
 
 namespace kusd::rng {
@@ -33,16 +34,14 @@ std::uint64_t Rng::geometric_failures(double p) {
 }
 
 std::uint64_t Rng::binomial(std::uint64_t n, double p) {
-  KUSD_CHECK_MSG(p >= 0.0 && p <= 1.0, "binomial probability out of range");
-  if (n == 0 || p == 0.0) return 0;
-  if (p == 1.0) return n;
-  std::binomial_distribution<std::uint64_t> dist(n, p);
-  return dist(*this);
+  return rng::binomial(*this, n, p);
 }
 
-std::vector<std::uint64_t> Rng::multinomial(std::uint64_t n,
-                                            std::span<const double> weights) {
-  std::vector<std::uint64_t> out(weights.size(), 0);
+void Rng::multinomial_into(std::uint64_t n, std::span<const double> weights,
+                           std::span<std::uint64_t> out) {
+  KUSD_CHECK_MSG(out.size() == weights.size(),
+                 "multinomial output size must match the weight count");
+  std::fill(out.begin(), out.end(), 0);
   double remaining_weight = 0.0;
   for (double w : weights) {
     KUSD_CHECK_MSG(w >= 0.0, "multinomial weight must be non-negative");
@@ -58,6 +57,12 @@ std::vector<std::uint64_t> Rng::multinomial(std::uint64_t n,
     remaining_weight -= weights[i];
   }
   if (!weights.empty()) out.back() += remaining;
+}
+
+std::vector<std::uint64_t> Rng::multinomial(std::uint64_t n,
+                                            std::span<const double> weights) {
+  std::vector<std::uint64_t> out(weights.size(), 0);
+  multinomial_into(n, weights, out);
   return out;
 }
 

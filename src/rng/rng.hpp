@@ -113,12 +113,19 @@ class Rng {
   /// (support {0, 1, 2, ...}). Exact inversion; p must be in (0, 1].
   std::uint64_t geometric_failures(double p);
 
-  /// Binomial(n, p) sample. Exact (inversion / BTPE via the standard
-  /// library); p in [0, 1].
+  /// Binomial(n, p) sample. Exact, via the in-repo BINV/BTRS sampler
+  /// (rng/binomial.hpp); p in [0, 1]. Degenerate draws (n == 0, p == 0,
+  /// p == 1) consume no randomness.
   std::uint64_t binomial(std::uint64_t n, double p);
 
   /// Multinomial(n, weights): partition n into weights.size() buckets with
-  /// probabilities proportional to weights. Exact via sequential binomials.
+  /// probabilities proportional to weights. Exact via sequential
+  /// conditional binomials; `out` must have weights.size() entries and is
+  /// overwritten. Allocation-free (the hot-loop form).
+  void multinomial_into(std::uint64_t n, std::span<const double> weights,
+                        std::span<std::uint64_t> out);
+
+  /// Allocating convenience form of multinomial_into (same draw sequence).
   std::vector<std::uint64_t> multinomial(std::uint64_t n,
                                          std::span<const double> weights);
 

@@ -191,11 +191,42 @@ SweepCell aggregate_cell(const SweepSpec& spec, const SweepPoint& point,
   return cell;
 }
 
+/// A cell's whole trial batch through the engine's lockstep kernel
+/// (EngineInfo::lockstep): the exact seeds run_trials would derive, one
+/// kernel invocation, outcomes in trial order. Because the kernel is
+/// per-stream bit-identical to the single-trial engine, this path is the
+/// same in every execution mode and at every thread count by
+/// construction.
+std::vector<TrialOutcome> run_lockstep_batch(const SweepSpec& spec,
+                                             const SweepPoint& point,
+                                             const pp::Configuration& x0,
+                                             const PointTopology& topology,
+                                             std::uint64_t point_seed,
+                                             const sim::EngineInfo& info) {
+  std::vector<std::uint64_t> seeds(static_cast<std::size_t>(spec.trials));
+  for (std::size_t t = 0; t < seeds.size(); ++t) {
+    seeds[t] = rng::stream_seed(point_seed, static_cast<std::uint64_t>(t));
+  }
+  const auto results =
+      info.lockstep(x0, seeds, engine_options(spec, point, topology),
+                    trial_budget(spec, point));
+  const int plurality = x0.argmax();
+  std::vector<TrialOutcome> outcomes(results.size());
+  for (std::size_t t = 0; t < results.size(); ++t) {
+    outcomes[t].parallel_time = results[t].parallel_time;
+    outcomes[t].converged = results[t].converged;
+    outcomes[t].plurality_won =
+        results[t].converged && results[t].winner == plurality;
+  }
+  return outcomes;
+}
+
 /// Shared core of both execution modes — one code path so CSV/JSONL stay
 /// byte-identical across modes: realize the point's topology, short-
-/// circuit a disconnected one as an all-timeout batch, and otherwise hand
-/// the trial batch to `run_batch` (striped over a pool, or inline in a
-/// point-parallel task).
+/// circuit a disconnected one as an all-timeout batch, route lockstep-
+/// capable engines through one whole-batch kernel call, and otherwise
+/// hand the trial batch to `run_batch` (striped over a pool, or inline in
+/// a point-parallel task).
 SweepCell run_point_cell(
     const SweepSpec& spec, const SweepPoint& point,
     const std::function<std::vector<TrialOutcome>(
@@ -224,9 +255,16 @@ SweepCell run_point_cell(
     outcomes.assign(static_cast<std::size_t>(spec.trials), out);
     timed_out = true;
   } else {
-    outcomes = run_batch(point_seed, [&](std::uint64_t seed) {
-      return run_one(spec, point, x0, topology, seed);
-    });
+    const sim::EngineInfo* info =
+        sim::Registry::instance().find(point.engine);
+    if (info != nullptr && info->supports_lockstep && info->lockstep) {
+      outcomes =
+          run_lockstep_batch(spec, point, x0, topology, point_seed, *info);
+    } else {
+      outcomes = run_batch(point_seed, [&](std::uint64_t seed) {
+        return run_one(spec, point, x0, topology, seed);
+      });
+    }
   }
   auto cell = aggregate_cell(spec, point, outcomes, watch.seconds());
   cell.graph_edges = topology.edges;

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "rng/rng.hpp"
@@ -19,15 +20,16 @@
 namespace kusd::runner {
 
 /// Run `trials` independent invocations of fn(seed) on an existing (idle)
-/// pool and return the results in trial order. Rejects negative `trials`.
-/// Trials are striped over a bounded number of pool tasks, each holding
-/// `fn` by reference, so no per-trial std::function is materialized. If a
-/// trial throws, the first exception propagates out (remaining trials in
-/// other stripes still run; the result vector is abandoned).
-template <typename T>
+/// pool and return the results of type T in trial order. Rejects negative
+/// `trials`. Trials are striped over a bounded number of pool tasks, each
+/// holding `fn` by reference, so the callable is never type-erased or
+/// copied — a lambda with a fat capture list costs the same as a function
+/// pointer, and the per-trial call inlines. If a trial throws, the first
+/// exception propagates out (remaining trials in other stripes still run;
+/// the result vector is abandoned).
+template <typename T, typename Fn>
 std::vector<T> run_trials(util::ThreadPool& pool, int trials,
-                          std::uint64_t master_seed,
-                          const std::function<T(std::uint64_t)>& fn) {
+                          std::uint64_t master_seed, Fn&& fn) {
   KUSD_CHECK_MSG(trials >= 0, "run_trials: negative trial count");
   std::vector<T> results(static_cast<std::size_t>(trials));
   if (trials == 0) return results;
@@ -48,13 +50,12 @@ std::vector<T> run_trials(util::ThreadPool& pool, int trials,
 }
 
 /// Same, with a pool of `threads` workers created for this batch.
-template <typename T>
-std::vector<T> run_trials(int trials, std::uint64_t master_seed,
-                          const std::function<T(std::uint64_t)>& fn,
+template <typename T, typename Fn>
+std::vector<T> run_trials(int trials, std::uint64_t master_seed, Fn&& fn,
                           std::size_t threads = 0) {
   KUSD_CHECK_MSG(trials >= 0, "run_trials: negative trial count");
   util::ThreadPool pool(threads);
-  return run_trials<T>(pool, trials, master_seed, fn);
+  return run_trials<T>(pool, trials, master_seed, std::forward<Fn>(fn));
 }
 
 /// Convenience wrapper: run trials producing a double metric and collect

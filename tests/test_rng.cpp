@@ -1,13 +1,17 @@
 // Unit and property tests for the RNG substrate.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <numeric>
 #include <set>
+#include <span>
 #include <utility>
 #include <vector>
 
+#include "rng/binomial.hpp"
 #include "rng/rng.hpp"
 #include "util/check.hpp"
 
@@ -254,6 +258,144 @@ TEST_P(RngBoundedSweep, MeanMatchesUniform) {
 INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundedSweep,
                          ::testing::Values(2, 3, 7, 10, 100, 1000, 65537,
                                            1000003));
+
+// ---- In-repo binomial sampler (rng/binomial.hpp) ----
+
+TEST(Binomial, SmallNMatchesExactPmf) {
+  // BINV regime: n = 3, p = 0.25. Exact pmf (27, 27, 9, 1)/64; with 2e5
+  // draws the sampling noise per bin is ~3.5e-3 at 3 sigma.
+  rng::Rng rng(5001);
+  const int draws = 200000;
+  std::array<int, 4> histogram{};
+  for (int i = 0; i < draws; ++i) {
+    const auto x = rng::binomial(rng, 3, 0.25);
+    ASSERT_LE(x, 3u);
+    ++histogram[static_cast<std::size_t>(x)];
+  }
+  const std::array<double, 4> exact = {27.0 / 64, 27.0 / 64, 9.0 / 64,
+                                       1.0 / 64};
+  for (std::size_t j = 0; j < exact.size(); ++j) {
+    EXPECT_NEAR(static_cast<double>(histogram[j]) / draws, exact[j], 0.005)
+        << "outcome " << j;
+  }
+}
+
+TEST(Binomial, LargeNMomentsMatch) {
+  // BTRS regime: mean and variance of Binomial(1e6, 0.3).
+  rng::Rng rng(5002);
+  const std::uint64_t n = 1'000'000;
+  const double p = 0.3;
+  const int draws = 4000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < draws; ++i) {
+    const double x = static_cast<double>(rng::binomial(rng, n, p));
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / draws;
+  const double var = sum_sq / draws - mean * mean;
+  const double exact_mean = static_cast<double>(n) * p;
+  const double exact_var = exact_mean * (1.0 - p);
+  const double mean_sigma = std::sqrt(exact_var / draws);
+  EXPECT_NEAR(mean, exact_mean, 5.0 * mean_sigma);
+  EXPECT_NEAR(var, exact_var, 0.1 * exact_var);
+}
+
+TEST(Binomial, ReflectionRegimeMomentsMatch) {
+  // p > 0.5 is served as n - Binomial(n, 1 - p); verify the reflected
+  // stream still has the right first two moments.
+  rng::Rng rng(5003);
+  const std::uint64_t n = 100000;
+  const double p = 0.85;
+  const int draws = 4000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < draws; ++i) {
+    const double x = static_cast<double>(rng::binomial(rng, n, p));
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / draws;
+  const double var = sum_sq / draws - mean * mean;
+  const double exact_mean = static_cast<double>(n) * p;
+  const double exact_var = exact_mean * (1.0 - p);
+  EXPECT_NEAR(mean, exact_mean, 5.0 * std::sqrt(exact_var / draws));
+  EXPECT_NEAR(var, exact_var, 0.1 * exact_var);
+}
+
+TEST(Binomial, DegenerateDrawsConsumeNoStream) {
+  // The documented contract the lockstep kernel's bit-identity relies
+  // on: n == 0, p == 0 and p == 1 return without touching the stream.
+  const std::array<std::pair<std::uint64_t, double>, 3> cases = {
+      {{0, 0.5}, {17, 0.0}, {17, 1.0}}};
+  for (const auto& [n, p] : cases) {
+    rng::Rng touched(42), untouched(42);
+    const auto x = rng::binomial(touched, n, p);
+    EXPECT_EQ(x, p == 1.0 ? n : 0u);
+    EXPECT_EQ(touched.next_u64(), untouched.next_u64())
+        << "n=" << n << " p=" << p;
+  }
+}
+
+TEST(Binomial, BatchMatchesScalarDrawForDraw) {
+  // binomial_batch is dispatch sugar: per-stream results must equal the
+  // scalar calls in index order, for both the pointer and the contiguous
+  // overloads.
+  const std::size_t lanes = 64;
+  std::vector<std::uint64_t> ns(lanes);
+  std::vector<double> ps(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    // Mix of regimes: degenerate, BINV, BTRS, reflection.
+    ns[i] = (i % 7 == 0) ? 0 : (i * i * 37 + 1);
+    ps[i] = (i % 5 == 0) ? 0.0 : static_cast<double>(i) / lanes;
+  }
+  std::vector<rng::Rng> batch_rngs, scalar_rngs;
+  std::vector<rng::Rng*> batch_ptrs;
+  for (std::size_t i = 0; i < lanes; ++i) {
+    batch_rngs.emplace_back(rng::stream_seed(5004, i));
+    scalar_rngs.emplace_back(rng::stream_seed(5004, i));
+  }
+  for (auto& r : batch_rngs) batch_ptrs.push_back(&r);
+  std::vector<std::uint64_t> out_ptr(lanes), out_span(lanes);
+  rng::binomial_batch(std::span<rng::Rng* const>(batch_ptrs), ns, ps,
+                      out_ptr);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    const auto scalar = rng::binomial(scalar_rngs[i], ns[i], ps[i]);
+    EXPECT_EQ(out_ptr[i], scalar) << "lane " << i;
+    // Stream positions must agree afterwards too.
+    EXPECT_EQ(batch_rngs[i].next_u64(), scalar_rngs[i].next_u64())
+        << "lane " << i;
+  }
+  std::vector<rng::Rng> span_rngs;
+  for (std::size_t i = 0; i < lanes; ++i) {
+    span_rngs.emplace_back(rng::stream_seed(5004, i));
+  }
+  rng::binomial_batch(std::span<rng::Rng>(span_rngs), ns, ps, out_span);
+  EXPECT_EQ(out_span, out_ptr);
+}
+
+TEST(Binomial, LogFactorialMatchesLgamma) {
+  // lgamma is fine here — tests are single-threaded; the point of
+  // log_factorial is avoiding it in the concurrent hot path.
+  for (std::uint64_t k = 0; k <= 300; ++k) {
+    const double exact = std::lgamma(static_cast<double>(k) + 1.0);
+    const double tolerance = 1e-9 * std::max(1.0, exact);
+    EXPECT_NEAR(rng::log_factorial(k), exact, tolerance) << "k=" << k;
+  }
+  for (const std::uint64_t k : {1000ull, 123456ull, 100'000'000ull}) {
+    const double exact = std::lgamma(static_cast<double>(k) + 1.0);
+    EXPECT_NEAR(rng::log_factorial(k), exact, 1e-9 * exact) << "k=" << k;
+  }
+}
+
+TEST(Rng, MultinomialIntoMatchesMultinomial) {
+  const std::vector<double> weights = {3.0, 0.0, 1.5, 0.25, 5.0};
+  rng::Rng a(5005), b(5005);
+  const auto vec = a.multinomial(10000, weights);
+  std::vector<std::uint64_t> into(weights.size());
+  b.multinomial_into(10000, weights, into);
+  EXPECT_EQ(vec, into);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
 
 }  // namespace
 }  // namespace kusd

@@ -309,6 +309,38 @@ class ContractSyncTest(FixtureTest):
         self.assertEqual(result.returncode, 1)
         self.assertIn("[doc-flag-drift]", result.stderr)
 
+    def test_lockstep_flag_is_checked_in_the_catalog(self):
+        # supports_lockstep mirrors a `lockstep` catalog column exactly
+        # like the other EngineInfo flags: a matching cell passes, a
+        # stale one is doc-flag-drift.
+        engines = CONTRACT_FIXTURE["src/sim/engines.cpp"].replace(
+            '.description = "first test engine"',
+            '.description = "first test engine",\n'
+            '                .supports_lockstep = true')
+        catalog = """\
+# Architecture
+
+## Engine catalog
+
+| engine | description | graph axis | chunked | decided start | aggregated | lockstep |
+|--------|-------------|------------|---------|---------------|------------|----------|
+| `alpha` | first test engine | | | | | yes |
+| `beta` | graph test engine | yes | yes | | | |
+"""
+        self.write_contract_fixture(**{
+            "src/sim/engines.cpp": engines,
+            "docs/architecture.md": catalog})
+        result = run_lint(self.root, "--pass", "contract-sync")
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+        self.write("docs/architecture.md", catalog.replace(
+            "| `alpha` | first test engine | | | | | yes |",
+            "| `alpha` | first test engine | | | | | |"))
+        result = run_lint(self.root, "--pass", "contract-sync")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("[doc-flag-drift]", result.stderr)
+        self.assertIn("supports_lockstep", result.stderr)
+
     def test_missing_catalog_section_fails(self):
         self.write_contract_fixture(**{
             "docs/architecture.md": "# Architecture\n\nno catalog here\n"})
