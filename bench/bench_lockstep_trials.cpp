@@ -42,14 +42,6 @@ constexpr std::uint64_t kNoCap = ~std::uint64_t{0};
 // n = 1e8, k = 32 with the former std::binomial_distribution sampler.
 constexpr double kBaselineSecondsPerTrial = 0.0181585;
 
-std::vector<std::uint64_t> seeds_for(std::uint64_t base, std::size_t count) {
-  std::vector<std::uint64_t> seeds(count);
-  for (std::size_t t = 0; t < count; ++t) {
-    seeds[t] = rng::stream_seed(base, static_cast<std::uint64_t>(t));
-  }
-  return seeds;
-}
-
 std::vector<double> exact_times(const pp::Configuration& x0, int trials,
                                 std::uint64_t seed_base) {
   std::vector<double> out;
@@ -85,18 +77,13 @@ int main() {
   const std::size_t trials = 10;
   {
     const auto x0 = pp::Configuration::uniform(n, k, 0);
-    const auto seeds = seeds_for(0xE18, trials);
-    // Identical deterministic work per repetition; the minimum estimates
-    // the true cost net of scheduler interference (this container is
-    // 1-core, so a single shot can be off by 50%).
+    const auto seeds = bench::stream_seeds(0xE18, trials);
     const int reps = 5;
 
     std::vector<std::uint64_t> scalar_interactions(trials),
         scalar_chunks(trials);
     std::vector<int> scalar_winner(trials);
-    double scalar_seconds = 1e300;
-    for (int rep = 0; rep < reps; ++rep) {
-      util::Stopwatch watch;
+    const double scalar_seconds = bench::min_seconds_over(reps, [&] {
       for (std::size_t t = 0; t < trials; ++t) {
         core::BatchedUsdSimulator sim(x0, rng::Rng(seeds[t]), adaptive);
         sim.run_to_consensus(kNoCap);
@@ -104,15 +91,11 @@ int main() {
         scalar_chunks[t] = sim.chunks();
         scalar_winner[t] = sim.consensus_opinion();
       }
-      scalar_seconds = std::min(scalar_seconds, watch.seconds());
-    }
+    });
 
-    double lockstep_seconds = 1e300;
-    for (int rep = 0; rep < reps; ++rep) {
-      util::Stopwatch watch;
+    const double lockstep_seconds = bench::min_seconds_over(reps, [&] {
       core::LockstepRoundEngine kernel(x0, seeds, adaptive);
       kernel.advance_all(kNoCap);
-      lockstep_seconds = std::min(lockstep_seconds, watch.seconds());
 
       // ---- Part 2: bit-identity audit against the scalar runs ----
       for (std::size_t t = 0; t < trials; ++t) {
@@ -122,7 +105,7 @@ int main() {
                         kernel.is_consensus(t) &&
                         kernel.consensus_opinion(t) == scalar_winner[t];
       }
-    }
+    });
 
     scalar_per_trial = scalar_seconds / static_cast<double>(trials);
     lockstep_per_trial = lockstep_seconds / static_cast<double>(trials);
@@ -154,7 +137,7 @@ int main() {
   const int ks_trials = runner::scaled_trials(350, 60);
   const auto exact = exact_times(x_small, ks_trials, 0xE18B);
   const auto ks_seeds =
-      seeds_for(0xE18C, static_cast<std::size_t>(ks_trials));
+      bench::stream_seeds(0xE18C, static_cast<std::size_t>(ks_trials));
   core::LockstepRoundEngine small_kernel(x_small, ks_seeds,
                                          core::ChunkOptions{});
   small_kernel.advance_all(kNoCap);

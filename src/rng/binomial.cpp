@@ -2,179 +2,149 @@
 
 #include <array>
 #include <cmath>
+#include <cstddef>
+#include <vector>
 
+#include "rng/binomial_detail.hpp"
+#include "rng/binomial_lanes.hpp"
+#include "rng/simd.hpp"
+#include "rng/uniform_block.hpp"
 #include "util/check.hpp"
 
 namespace kusd::rng {
 
 namespace {
 
-// Exact table size: large enough that the Stirling tail's worst case
-// (k = kTableSize) is deep inside its accuracy regime.
-constexpr std::size_t kTableSize = 128;
 
-std::array<double, kTableSize> build_log_factorial_table() {
-  std::array<double, kTableSize> table{};
-  long double acc = 0.0L;
-  for (std::size_t k = 1; k < kTableSize; ++k) {
-    acc += std::log(static_cast<long double>(k));
-    table[k] = static_cast<double>(acc);
-  }
-  return table;
-}
+/// Within-call memo of the last reduced (n, p) setup. The lockstep kernel
+/// calls the batch with one event family's — frequently identical —
+/// parameters across hundreds of trials, and the sweep's trial-inner
+/// loops repeat (n, p) run-length-wise, so recomputing the sqrt/exp
+/// setup per draw was pure waste. Correctness-neutral: the setup is a
+/// pure function of (n, p), pinned by the bit-identity tests.
+struct SetupCache {
+  std::uint64_t n = 0;
+  double p = -1.0;  // impossible reduced p: never matches
+  bool is_btrs = false;
+  detail::BinvSetup binv{};
+  detail::BtrsSetup btrs{};
+};
 
-constexpr double kHalfLogTwoPi = 0.91893853320467274178;  // ln(2*pi)/2
-
-// BINV gives up after this many inversion steps and restarts with a fresh
-// uniform: with np < 10 the region beyond is ~1e-60 probability, but a
-// floating-point-underflowed pmf recurrence could otherwise spin to n.
-constexpr std::uint64_t kBinvCutoff = 110;
-
-/// ln(1 - p) without a libm call for small p: the Mercator series
-/// truncated after p^5 has absolute error < p^6/6, so for p <= 1e-4 the
-/// error in n * ln(q) stays below 1e-12 even at n = 1e8 — far inside the
-/// sampler's documented log-domain tolerance. Matters because the
-/// tau-leap draws mostly tiny per-family probabilities, making this the
-/// common BINV setup path.
-double log1m(double p) {
-  if (p > 1e-4) return std::log1p(-p);
-  const double p2 = p * p;
-  return -(p + p2 * (0.5 + p * (1.0 / 3.0)) +
-           p2 * p2 * (0.25 + p * 0.2));
-}
-
-/// exp(z) for |z| < 0.09 via a degree-7 Taylor polynomial: the truncation
-/// error z^8/8! is below 1e-13 on that interval, matching libm's accuracy
-/// for this use. Over half the tau-leap's BINV setups land here (tiny
-/// family probabilities make n * ln(q) nearly zero), so skipping the
-/// out-of-line exp call is a measurable share of the whole draw.
-double exp_small(double z) {
-  double acc = 1.0 / 5040.0;
-  acc = acc * z + 1.0 / 720.0;
-  acc = acc * z + 1.0 / 120.0;
-  acc = acc * z + 1.0 / 24.0;
-  acc = acc * z + 1.0 / 6.0;
-  acc = acc * z + 0.5;
-  acc = acc * z + 1.0;
-  return acc * z + 1.0;
-}
-
-/// Inversion by sequential search for small means (np < 10, p <= 0.5).
-std::uint64_t binv(Rng& rng, std::uint64_t n, double p) {
-  const double q = 1.0 - p;
-  const double s = p / q;
-  const double a = (static_cast<double>(n) + 1.0) * s;
-  const double z = static_cast<double>(n) * log1m(p);
-  const double r0 = z > -0.09 ? exp_small(z) : std::exp(z);  // q^n
-  for (;;) {
-    double u = rng.uniform01();
-    double r = r0;
-    std::uint64_t x = 0;
-    while (u > r) {
-      if (x >= n) return n;  // all remaining mass sits at x = n
-      u -= r;
-      ++x;
-      if (x > kBinvCutoff) break;
-      r *= a / static_cast<double>(x) - s;
+/// One reduced draw (validated p <= 0.5, degenerate cases already
+/// resolved by the caller) through the memoized scalar samplers.
+template <typename Uniforms>
+std::uint64_t reduced_draw(Uniforms& uniforms, std::uint64_t n, double p,
+                           SetupCache& cache) {
+  if (n != cache.n || p != cache.p) {
+    cache.n = n;
+    cache.p = p;
+    cache.is_btrs = static_cast<double>(n) * p >= detail::kBtrsCutoff;
+    if (cache.is_btrs) {
+      cache.btrs = detail::btrs_setup(n, p);
+    } else {
+      cache.binv = detail::binv_setup(n, p);
     }
-    if (x <= kBinvCutoff) return x;
   }
+  return cache.is_btrs ? detail::btrs(uniforms, cache.btrs, n)
+                       : detail::binv(uniforms, cache.binv, n);
 }
 
-// A squeeze-missing BTRS candidate within this distance of the mode runs
-// the accept test in the linear domain (a short product of pmf ratios, no
-// libm at all) instead of the log domain. pmf(m +- 64)/pmf(m) is at most
-// ~exp(-64^2 / (2 * spq^2)) — far above double underflow for every spq
-// this branch sees — and 64 terms of 1-2 ulp each keep the product's
-// relative error ~1e-14, the same order as the log path.
-constexpr double kNearModeWindow = 64.0;
+/// BTRS lane kernel of the active tier, or nullptr when the build or the
+/// tier is scalar-only.
+using LanesFn = void (*)(const detail::LaneBatchView&);
+LanesFn btrs_lanes_fn() {
+#if defined(KUSD_SIMD_ENABLED)
+  switch (simd::active_tier()) {
+    case simd::Tier::kAvx2:
+      return &detail::btrs_lanes_avx2;
+    case simd::Tier::kSse2:
+      return &detail::btrs_lanes_sse2;
+    case simd::Tier::kScalar:
+      break;
+  }
+#endif
+  return nullptr;
+}
 
-/// Hörmann's BTRS transformed-rejection sampler (np >= 10, p <= 0.5):
-/// ~86% of candidate pairs accept via the squeeze. The rest compare v
-/// against the exact pmf ratio — multiplicatively when the candidate is
-/// near the mode (the overwhelmingly common miss at small spq, where the
-/// squeeze is weakest), in the log domain otherwise. Two uniforms per
-/// candidate.
-std::uint64_t btrs(Rng& rng, std::uint64_t n, double p) {
-  const double dn = static_cast<double>(n);
-  const double q = 1.0 - p;
-  const double spq = std::sqrt(dn * p * q);
-  const double b = 1.15 + 2.53 * spq;
-  const double a = -0.0873 + 0.0248 * b + 0.01 * p;
-  const double c = dn * p + 0.5;
-  const double v_r = 0.92 - 4.2 / b;
-  const double m = std::floor((dn + 1.0) * p);
-  const double ratio = p / q;
-  // The log-domain constants are only read on a far-from-mode squeeze
-  // miss — a rare event the lazy setup keeps off the hot path (each is a
-  // libm call, which would otherwise dominate the whole draw under the
-  // tau-leap's fresh-(n, p)-per-call access pattern).
-  double alpha = 0.0, log_ratio = 0.0, h = 0.0;
-  bool slow_ready = false;
-  for (;;) {
-    const double u = rng.uniform01() - 0.5;
-    const double v = rng.uniform01();
-    const double us = 0.5 - std::abs(u);
-    const double kd = std::floor((2.0 * a / us + b) * u + c);
-    if (kd < 0.0 || kd > dn) continue;
-    if (us >= 0.07 && v <= v_r) return static_cast<std::uint64_t>(kd);
-    const auto k = static_cast<std::uint64_t>(kd);
-    if (std::abs(kd - m) <= kNearModeWindow) {
-      // Accept iff v * alpha / (a/us^2 + b) <= pmf(k)/pmf(m); build the
-      // ratio as a running product of one-step pmf ratios
-      //   pmf(i)/pmf(i-1) = ((n - i + 1)/i) * p/q.
-      double f = 1.0;
-      if (kd > m) {
-        for (double i = m + 1.0; i <= kd; i += 1.0) {
-          f *= (dn - i + 1.0) / i * ratio;
-        }
-      } else {
-        for (double i = kd + 1.0; i <= m; i += 1.0) {
-          f *= i / ((dn - i + 1.0) * ratio);
-        }
-      }
-      const double alpha_lin = (2.83 + 5.1 / b) * spq;
-      if (v * alpha_lin <= f * (a / (us * us) + b)) return k;
+struct BatchScratch {
+  std::vector<std::size_t> btrs_index;
+  std::vector<Rng*> lane_rngs;
+  std::vector<std::uint64_t> lane_ns;
+  std::vector<double> lane_ps;
+  std::vector<std::uint64_t> lane_outs;
+  std::vector<Rng*> pointers;  // contiguous-overload adapter
+};
+
+BatchScratch& scratch() {
+  // One scratch per thread: binomial_batch runs concurrently from
+  // independent sweep tasks, and each call fully consumes what it wrote,
+  // so thread-local reuse is safe and keeps the hot path allocation-free
+  // after warmup.
+  thread_local BatchScratch scratch;
+  return scratch;
+}
+
+/// Cohort pass over one batch: degenerate draws resolve inline (no
+/// stream consumption), BINV draws run through the memoized scalar
+/// sampler (cheap, and their inversion loop is too data-dependent to
+/// lane-batch profitably), and BTRS draws — the sqrt/div/log-heavy
+/// cohort — gather into the lane kernel of the active SIMD tier.
+void batch_draw(std::span<Rng* const> rngs, std::span<const std::uint64_t> ns,
+                std::span<const double> ps, std::span<std::uint64_t> out) {
+  BatchScratch& sc = scratch();
+  const LanesFn lanes = btrs_lanes_fn();
+  sc.btrs_index.clear();
+  SetupCache cache;
+  for (std::size_t i = 0; i < rngs.size(); ++i) {
+    const double p = ps[i];
+    KUSD_CHECK_MSG(p >= 0.0 && p <= 1.0, "binomial probability out of range");
+    const std::uint64_t n = ns[i];
+    if (n == 0 || p == 0.0) {
+      out[i] = 0;
       continue;
     }
-    if (!slow_ready) {
-      alpha = (2.83 + 5.1 / b) * spq;
-      log_ratio = std::log(ratio);
-      h = log_factorial(static_cast<std::uint64_t>(m)) +
-          log_factorial(n - static_cast<std::uint64_t>(m));
-      slow_ready = true;
+    if (p == 1.0) {
+      out[i] = n;
+      continue;
     }
-    const double lhs = std::log(v * alpha / (a / (us * us) + b));
-    const double rhs = h - log_factorial(k) - log_factorial(n - k) +
-                       (kd - m) * log_ratio;
-    if (lhs <= rhs) return k;
+    const double reduced = p > 0.5 ? 1.0 - p : p;
+    if (lanes != nullptr &&
+        static_cast<double>(n) * reduced >= detail::kBtrsCutoff) {
+      sc.btrs_index.push_back(i);
+      continue;
+    }
+    const std::uint64_t draw = reduced_draw(*rngs[i], n, reduced, cache);
+    out[i] = p > 0.5 ? n - draw : draw;
+  }
+  if (sc.btrs_index.empty()) return;
+  sc.lane_rngs.clear();
+  sc.lane_ns.clear();
+  sc.lane_ps.clear();
+  for (const std::size_t i : sc.btrs_index) {
+    sc.lane_rngs.push_back(rngs[i]);
+    sc.lane_ns.push_back(ns[i]);
+    sc.lane_ps.push_back(ps[i] > 0.5 ? 1.0 - ps[i] : ps[i]);
+  }
+  sc.lane_outs.assign(sc.btrs_index.size(), 0);
+  const detail::LaneBatchView view{sc.lane_rngs.data(), sc.lane_ns.data(),
+                                   sc.lane_ps.data(), sc.lane_outs.data(),
+                                   sc.btrs_index.size()};
+  lanes(view);
+  for (std::size_t j = 0; j < sc.btrs_index.size(); ++j) {
+    const std::size_t i = sc.btrs_index[j];
+    out[i] = ps[i] > 0.5 ? ns[i] - sc.lane_outs[j] : sc.lane_outs[j];
   }
 }
 
 }  // namespace
 
 double log_factorial(std::uint64_t k) {
-  // Magic-static init is thread-safe and the table is read-only after.
-  static const std::array<double, kTableSize> table =
-      build_log_factorial_table();
-  if (k < kTableSize) return table[k];
-  const double dk = static_cast<double>(k);
-  const double inv = 1.0 / dk;
-  const double inv2 = inv * inv;
-  return (dk + 0.5) * std::log(dk) - dk + kHalfLogTwoPi +
-         inv * (1.0 / 12.0 - inv2 / 360.0);
+  return detail::log_factorial(k);
 }
 
 std::uint64_t binomial(Rng& rng, std::uint64_t n, double p) {
   KUSD_CHECK_MSG(p >= 0.0 && p <= 1.0, "binomial probability out of range");
-  if (n == 0 || p == 0.0) return 0;
-  if (p == 1.0) return n;
-  const bool reflect = p > 0.5;
-  const double ps = reflect ? 1.0 - p : p;
-  const std::uint64_t draw = static_cast<double>(n) * ps < 10.0
-                                 ? binv(rng, n, ps)
-                                 : btrs(rng, n, ps);
-  return reflect ? n - draw : draw;
+  return detail::binomial_draw(rng, n, p);
 }
 
 void binomial_batch(std::span<Rng* const> rngs,
@@ -184,9 +154,7 @@ void binomial_batch(std::span<Rng* const> rngs,
   KUSD_CHECK_MSG(rngs.size() == ns.size() && ns.size() == ps.size() &&
                      ps.size() == out.size(),
                  "binomial_batch: span lengths must match");
-  for (std::size_t i = 0; i < rngs.size(); ++i) {
-    out[i] = binomial(*rngs[i], ns[i], ps[i]);
-  }
+  batch_draw(rngs, ns, ps, out);
 }
 
 void binomial_batch(std::span<Rng> rngs, std::span<const std::uint64_t> ns,
@@ -195,8 +163,34 @@ void binomial_batch(std::span<Rng> rngs, std::span<const std::uint64_t> ns,
   KUSD_CHECK_MSG(rngs.size() == ns.size() && ns.size() == ps.size() &&
                      ps.size() == out.size(),
                  "binomial_batch: span lengths must match");
-  for (std::size_t i = 0; i < rngs.size(); ++i) {
-    out[i] = binomial(rngs[i], ns[i], ps[i]);
+  BatchScratch& sc = scratch();
+  sc.pointers.clear();
+  for (Rng& rng : rngs) sc.pointers.push_back(&rng);
+  batch_draw(sc.pointers, ns, ps, out);
+}
+
+void binomial_batch(PhiloxUniformStream& uniforms,
+                    std::span<const std::uint64_t> ns,
+                    std::span<const double> ps,
+                    std::span<std::uint64_t> out) {
+  KUSD_CHECK_MSG(ns.size() == ps.size() && ps.size() == out.size(),
+                 "binomial_batch: span lengths must match");
+  SetupCache cache;
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    const double p = ps[i];
+    KUSD_CHECK_MSG(p >= 0.0 && p <= 1.0, "binomial probability out of range");
+    const std::uint64_t n = ns[i];
+    if (n == 0 || p == 0.0) {
+      out[i] = 0;
+      continue;
+    }
+    if (p == 1.0) {
+      out[i] = n;
+      continue;
+    }
+    const double reduced = p > 0.5 ? 1.0 - p : p;
+    const std::uint64_t draw = reduced_draw(uniforms, n, reduced, cache);
+    out[i] = p > 0.5 ? n - draw : draw;
   }
 }
 

@@ -31,8 +31,10 @@
 
 namespace kusd::rng {
 
-/// ln(k!) with no lgamma: exact (accumulated) table for small k, Stirling
-/// series (two correction terms) beyond it. Max relative error ~1e-13.
+/// ln(k!) with no lgamma: correctly-rounded literal table for small k,
+/// Stirling series (two correction terms) beyond it, with the in-repo
+/// log (detail::log_pos) so the value is a pure function of k on every
+/// platform. Max relative error ~1e-13.
 [[nodiscard]] double log_factorial(std::uint64_t k);
 
 /// One Binomial(n, p) sample from `rng`'s stream; p in [0, 1]. The edge
@@ -45,15 +47,34 @@ namespace kusd::rng {
 /// Batched entry point for lockstep many-trial kernels: out[i] =
 /// binomial(*rngs[i], ns[i], ps[i]). Each draw comes from its own trial's
 /// stream, so every per-stream draw sequence is exactly what the scalar
-/// call would produce — batching changes dispatch cost, never results.
-/// All spans must have equal length; rng pointers may repeat (draws are
-/// taken in index order).
+/// call would produce — batching changes dispatch cost and execution
+/// order, never per-stream results. Internally the batch is partitioned
+/// into cohorts (degenerate / BINV / BTRS) with per-(n, p) setup
+/// memoization, and the BTRS cohort runs through the lane-batched SIMD
+/// kernel of the active tier (rng/simd.hpp), so draws may execute in any
+/// order across the batch. All spans must have equal length, and the rng
+/// pointers must be distinct within one call (one draw per stream);
+/// callers needing several draws from one stream make several calls.
 void binomial_batch(std::span<Rng* const> rngs,
                     std::span<const std::uint64_t> ns,
                     std::span<const double> ps, std::span<std::uint64_t> out);
 
 /// Convenience overload over a contiguous Rng array (one draw per Rng).
 void binomial_batch(std::span<Rng> rngs, std::span<const std::uint64_t> ns,
+                    std::span<const double> ps, std::span<std::uint64_t> out);
+
+class PhiloxUniformStream;
+
+/// Shared-stream batch: out[i] = Binomial(ns[i], ps[i]) with every draw
+/// consumed sequentially, in index order, from one counter-based uniform
+/// stream (rng/uniform_block.hpp). This is the shared lockstep schedule's
+/// sampler: no per-trial streams to gather, at the deliberate cost of
+/// per-stream bit-identity to the scalar engine. Draw order is the
+/// contract here, so this path is scalar (memoized, never lane-batched)
+/// and self-deterministic by construction. Degenerate draws consume no
+/// uniforms, exactly like the Rng paths.
+void binomial_batch(PhiloxUniformStream& uniforms,
+                    std::span<const std::uint64_t> ns,
                     std::span<const double> ps, std::span<std::uint64_t> out);
 
 }  // namespace kusd::rng

@@ -1,0 +1,38 @@
+// Internal: lane-batched BTRS cohort kernels.
+//
+// binomial_batch partitions a batch into cohorts (degenerate / BINV /
+// BTRS) and hands the BTRS cohort — the sqrt/div-heavy one — to the lane
+// kernel of the active SIMD tier through this view. Each lane consumes
+// its own Rng stream, so every per-stream draw sequence stays bit-for-bit
+// what the scalar sampler would have produced; only the cross-stream
+// interleaving of work changes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "rng/rng.hpp"
+
+namespace kusd::rng::detail {
+
+/// Cohort-gathered view of one BTRS batch: parallel arrays of the
+/// reduced draws (p <= 0.5, np >= 10, non-degenerate; reflection is the
+/// caller's job). The kernels write raw draws to outs and advance each
+/// Rng exactly as the scalar sampler would have. Pointers in rngs must be
+/// distinct.
+struct LaneBatchView {
+  Rng* const* rngs = nullptr;
+  const std::uint64_t* ns = nullptr;
+  const double* ps = nullptr;
+  std::uint64_t* outs = nullptr;
+  std::size_t size = 0;
+};
+
+// Per-ISA instantiations of the width-templated kernel
+// (binomial_lanes_{sse2,avx2}.cpp). Definitions exist only in
+// SIMD-enabled builds; the dispatcher in binomial.cpp gates every call on
+// KUSD_SIMD_ENABLED and the active tier.
+void btrs_lanes_sse2(const LaneBatchView& batch);
+void btrs_lanes_avx2(const LaneBatchView& batch);
+
+}  // namespace kusd::rng::detail

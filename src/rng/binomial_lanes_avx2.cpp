@@ -1,0 +1,101 @@
+// AVX2 toolkit (W = 4) for the lane-batched BTRS kernel. Built with
+// -mavx2 confined to this TU; the only entry point is reached through the
+// runtime tier dispatch in binomial.cpp, so the instructions here never
+// execute on hardware that lacks them.
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "rng/binomial_lanes_impl.hpp"
+
+namespace kusd::rng::detail {
+
+namespace {
+
+struct Avx2Ops {
+  static constexpr int kWidth = 4;
+  using VU = __m256i;
+  using VD = __m256d;
+
+  static VU load_u64(const std::uint64_t* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void store_u64(std::uint64_t* p, VU x) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), x);
+  }
+  static VD load_pd(const double* p) { return _mm256_loadu_pd(p); }
+  static void store_pd(double* p, VD x) { _mm256_storeu_pd(p, x); }
+  static VD set1_pd(double x) { return _mm256_set1_pd(x); }
+
+  static VU add_u64(VU a, VU b) { return _mm256_add_epi64(a, b); }
+  static VU xor_u64(VU a, VU b) { return _mm256_xor_si256(a, b); }
+  template <int N>
+  static VU slli(VU x) {
+    return _mm256_slli_epi64(x, N);
+  }
+  template <int N>
+  static VU rotl(VU x) {
+    return _mm256_or_si256(_mm256_slli_epi64(x, N),
+                           _mm256_srli_epi64(x, 64 - N));
+  }
+  /// mask ? b : a, with mask all-ones or all-zero per 64-bit lane
+  /// (blendv_epi8 selects per byte, which coincides for such masks).
+  static VU blend_u64(VU a, VU b, VU mask) {
+    return _mm256_blendv_epi8(a, b, mask);
+  }
+
+  static VD add_pd(VD a, VD b) { return _mm256_add_pd(a, b); }
+  static VD sub_pd(VD a, VD b) { return _mm256_sub_pd(a, b); }
+  static VD mul_pd(VD a, VD b) { return _mm256_mul_pd(a, b); }
+  static VD div_pd(VD a, VD b) { return _mm256_div_pd(a, b); }
+  static VD sqrt_pd(VD a) { return _mm256_sqrt_pd(a); }
+  static VD abs_pd(VD a) {
+    return _mm256_andnot_pd(_mm256_set1_pd(-0.0), a);
+  }
+  static VD floor_pd(VD a) { return _mm256_floor_pd(a); }
+
+  static VD cmpge_pd(VD a, VD b) { return _mm256_cmp_pd(a, b, _CMP_GE_OQ); }
+  static VD cmple_pd(VD a, VD b) { return _mm256_cmp_pd(a, b, _CMP_LE_OQ); }
+  static VD and_pd(VD a, VD b) { return _mm256_and_pd(a, b); }
+  /// ~a & b (the intrinsic's operand order).
+  static VD andnot_pd(VD a, VD b) { return _mm256_andnot_pd(a, b); }
+  /// mask ? b : a, with mask all-ones or all-zero per lane.
+  static VD blend_pd(VD a, VD b, VD mask) {
+    return _mm256_blendv_pd(a, b, mask);
+  }
+  static int movemask_pd(VD a) { return _mm256_movemask_pd(a); }
+  static VU castpd_u64(VD a) { return _mm256_castpd_si256(a); }
+  static VD castu64_pd(VU a) { return _mm256_castsi256_pd(a); }
+
+  /// u64 -> double, correctly rounded over the full u64 range — same
+  /// exponent-graft construction as the SSE2 tier (see
+  /// binomial_lanes_sse2.cpp for the exactness argument).
+  static VD u64_to_double(VU v) {
+    const __m256i mask32 = _mm256_set1_epi64x(0xFFFFFFFFLL);
+    const __m256i exp52 = _mm256_set1_epi64x(0x4330000000000000LL);  // 2^52
+    const __m256i exp84 = _mm256_set1_epi64x(0x4530000000000000LL);  // 2^84
+    const __m256d bias = _mm256_set1_pd(1.9342813118337666422669312e25);
+    const __m256i v_lo = _mm256_or_si256(_mm256_and_si256(v, mask32), exp52);
+    const __m256i v_hi = _mm256_or_si256(_mm256_srli_epi64(v, 32), exp84);
+    return _mm256_add_pd(_mm256_sub_pd(_mm256_castsi256_pd(v_hi), bias),
+                         _mm256_castsi256_pd(v_lo));
+  }
+
+  /// (word >> 11) * 2^-53, the Rng::uniform01 mapping, bit-identical to
+  /// the scalar expression.
+  static VD to_unit(VU word) {
+    return _mm256_mul_pd(u64_to_double(_mm256_srli_epi64(word, 11)),
+                         _mm256_set1_pd(0x1.0p-53));
+  }
+};
+
+}  // namespace
+
+void btrs_lanes_avx2(const LaneBatchView& batch) {
+  // Two interleaved ymm pairs (W = 8): a single ymm group is a serial
+  // dependency chain that leaves the FP units idle; the dual halves give
+  // the OOO window independent work at the same chain depth.
+  btrs_lanes_run<DualOps<Avx2Ops>>(batch);
+}
+
+}  // namespace kusd::rng::detail

@@ -1,0 +1,359 @@
+// Ops-templated implementation of the lane-batched BTRS cohort kernel,
+// included by exactly the per-ISA TUs (binomial_lanes_{sse2,avx2}.cpp).
+// Each TU supplies an `Ops` vector toolkit (intrinsics stay confined to
+// .cpp files so every header still compiles standalone under baseline
+// flags) and instantiates btrs_lanes_run at its lane width — usually
+// through DualOps below, which doubles a toolkit's width so the kernel
+// runs more independent streams than the register width alone gives.
+//
+// Bit-identity to the scalar sampler (rng/binomial_detail.hpp) is held
+// by construction, not tuning:
+//
+//  * The per-(n, p) setup and the candidate transform replay the scalar
+//    expressions term for term, and every vector operation used —
+//    add/sub/mul/div/sqrt/floor/abs and the u64 -> double graft — is
+//    exactly rounded per IEEE-754, so a lane's rounding cannot differ
+//    from the scalar run's. -ffp-contract=off in the TU flags removes
+//    the one compiler freedom (FMA fusion) that could break this.
+//  * Each lane steps its own xoshiro stream with the exact Rng::next_u64
+//    update; per-lane freeze masks stop an accepted lane's stream while
+//    the group drains (a frozen lane recomputes ignored garbage).
+//  * The squeeze-miss accept test (btrs_accept) consumes no randomness,
+//    so it runs scalar per lane on spilled candidate values without
+//    disturbing any mask.
+//
+// Execution model per group of W draws: gather the W xoshiro states and
+// (n, p) pairs into SoA form, compute the BTRS setup vectorized, then run
+// the two-uniforms-per-candidate accept/reject loop with branchless mask
+// bookkeeping — range check, squeeze and lane retirement are all vector
+// compares and blends, so the only per-lane branch left in the loop is
+// the rare squeeze miss (~11% of candidates), which spills just the lanes
+// it needs. States and raw draws scatter back once every lane retires.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "rng/binomial_detail.hpp"
+#include "rng/binomial_lanes.hpp"
+
+namespace kusd::rng::detail {
+
+/// Width-doubling adapter: presents two Base vectors as one logical
+/// vector of 2 * Base::kWidth lanes. The point is latency hiding, not
+/// register width — one BTRS group's operations form a serial dependency
+/// chain (uniform -> candidate -> masks -> next iteration), so a single
+/// hardware vector leaves the FP units mostly idle; interleaving two
+/// independent halves doubles the work in flight at the same chain
+/// depth. Compose (DualOps<DualOps<...>>) to widen further until
+/// register pressure wins.
+template <typename Base>
+struct DualOps {
+  static constexpr int kWidth = 2 * Base::kWidth;
+  struct VU {
+    typename Base::VU lo, hi;
+  };
+  struct VD {
+    typename Base::VD lo, hi;
+  };
+
+  static VU load_u64(const std::uint64_t* p) {
+    return {Base::load_u64(p), Base::load_u64(p + Base::kWidth)};
+  }
+  static void store_u64(std::uint64_t* p, VU x) {
+    Base::store_u64(p, x.lo);
+    Base::store_u64(p + Base::kWidth, x.hi);
+  }
+  static VD load_pd(const double* p) {
+    return {Base::load_pd(p), Base::load_pd(p + Base::kWidth)};
+  }
+  static void store_pd(double* p, VD x) {
+    Base::store_pd(p, x.lo);
+    Base::store_pd(p + Base::kWidth, x.hi);
+  }
+  static VD set1_pd(double x) { return {Base::set1_pd(x), Base::set1_pd(x)}; }
+
+  static VU add_u64(VU a, VU b) {
+    return {Base::add_u64(a.lo, b.lo), Base::add_u64(a.hi, b.hi)};
+  }
+  static VU xor_u64(VU a, VU b) {
+    return {Base::xor_u64(a.lo, b.lo), Base::xor_u64(a.hi, b.hi)};
+  }
+  template <int N>
+  static VU slli(VU x) {
+    return {Base::template slli<N>(x.lo), Base::template slli<N>(x.hi)};
+  }
+  template <int N>
+  static VU rotl(VU x) {
+    return {Base::template rotl<N>(x.lo), Base::template rotl<N>(x.hi)};
+  }
+  static VU blend_u64(VU a, VU b, VU mask) {
+    return {Base::blend_u64(a.lo, b.lo, mask.lo),
+            Base::blend_u64(a.hi, b.hi, mask.hi)};
+  }
+
+  static VD add_pd(VD a, VD b) {
+    return {Base::add_pd(a.lo, b.lo), Base::add_pd(a.hi, b.hi)};
+  }
+  static VD sub_pd(VD a, VD b) {
+    return {Base::sub_pd(a.lo, b.lo), Base::sub_pd(a.hi, b.hi)};
+  }
+  static VD mul_pd(VD a, VD b) {
+    return {Base::mul_pd(a.lo, b.lo), Base::mul_pd(a.hi, b.hi)};
+  }
+  static VD div_pd(VD a, VD b) {
+    return {Base::div_pd(a.lo, b.lo), Base::div_pd(a.hi, b.hi)};
+  }
+  static VD sqrt_pd(VD a) { return {Base::sqrt_pd(a.lo), Base::sqrt_pd(a.hi)}; }
+  static VD abs_pd(VD a) { return {Base::abs_pd(a.lo), Base::abs_pd(a.hi)}; }
+  static VD floor_pd(VD a) {
+    return {Base::floor_pd(a.lo), Base::floor_pd(a.hi)};
+  }
+
+  static VD cmpge_pd(VD a, VD b) {
+    return {Base::cmpge_pd(a.lo, b.lo), Base::cmpge_pd(a.hi, b.hi)};
+  }
+  static VD cmple_pd(VD a, VD b) {
+    return {Base::cmple_pd(a.lo, b.lo), Base::cmple_pd(a.hi, b.hi)};
+  }
+  static VD and_pd(VD a, VD b) {
+    return {Base::and_pd(a.lo, b.lo), Base::and_pd(a.hi, b.hi)};
+  }
+  static VD andnot_pd(VD a, VD b) {
+    return {Base::andnot_pd(a.lo, b.lo), Base::andnot_pd(a.hi, b.hi)};
+  }
+  static VD blend_pd(VD a, VD b, VD mask) {
+    return {Base::blend_pd(a.lo, b.lo, mask.lo),
+            Base::blend_pd(a.hi, b.hi, mask.hi)};
+  }
+  static int movemask_pd(VD a) {
+    return Base::movemask_pd(a.lo) |
+           (Base::movemask_pd(a.hi) << Base::kWidth);
+  }
+  static VU castpd_u64(VD a) {
+    return {Base::castpd_u64(a.lo), Base::castpd_u64(a.hi)};
+  }
+  static VD castu64_pd(VU a) {
+    return {Base::castu64_pd(a.lo), Base::castu64_pd(a.hi)};
+  }
+
+  static VD u64_to_double(VU v) {
+    return {Base::u64_to_double(v.lo), Base::u64_to_double(v.hi)};
+  }
+  static VD to_unit(VU word) {
+    return {Base::to_unit(word.lo), Base::to_unit(word.hi)};
+  }
+};
+
+/// One xoshiro256++ step for every lane (the exact Rng::next_u64 update).
+/// Every lane steps unconditionally: retired lanes generate garbage the
+/// caller ignores, having already captured their final state. Keeping the
+/// update mask-free keeps the state recurrence — the loop's longest
+/// serial dependency chain — as short as the scalar generator's.
+template <typename Ops>
+inline typename Ops::VU lanes_next_u64(typename Ops::VU& s0,
+                                       typename Ops::VU& s1,
+                                       typename Ops::VU& s2,
+                                       typename Ops::VU& s3) {
+  using VU = typename Ops::VU;
+  const VU result = Ops::add_u64(Ops::template rotl<23>(Ops::add_u64(s0, s3)), s0);
+  const VU t = Ops::template slli<17>(s1);
+  VU n2 = Ops::xor_u64(s2, s0);
+  VU n3 = Ops::xor_u64(s3, s1);
+  s1 = Ops::xor_u64(s1, n2);
+  s0 = Ops::xor_u64(s0, n3);
+  s2 = Ops::xor_u64(n2, t);
+  s3 = Ops::template rotl<45>(n3);
+  return result;
+}
+
+/// Iteration cap per group before the stragglers fall back to the scalar
+/// sampler. The accept/reject loop is memoryless, so a lane still live
+/// after the cap continues its draw through a plain scalar btrs() call on
+/// its current stream state — the candidate sequence, and therefore the
+/// draw, is bit-identical to running the lane to completion in vector
+/// code. P(a lane needs more than 3 candidates) is ~0.1%, and cutting the
+/// tail bounds the per-group iteration count near its mean instead of the
+/// max over W geometrics (the straggler cost grows with W).
+inline constexpr int kMaxGroupRounds = 3;
+
+template <typename Ops>
+void btrs_group(const LaneBatchView& batch, std::size_t base) {
+  constexpr int W = Ops::kWidth;
+  using VD = typename Ops::VD;
+  using VU = typename Ops::VU;
+
+  // Gather lane streams and parameters into SoA form.
+  alignas(32) std::uint64_t s0a[W], s1a[W], s2a[W], s3a[W], na[W];
+  alignas(32) double pa[W];
+  for (int l = 0; l < W; ++l) {
+    const auto state = batch.rngs[base + l]->state();
+    s0a[l] = state[0];
+    s1a[l] = state[1];
+    s2a[l] = state[2];
+    s3a[l] = state[3];
+    na[l] = batch.ns[base + l];
+    pa[l] = batch.ps[base + l];
+  }
+  VU s0 = Ops::load_u64(s0a);
+  VU s1 = Ops::load_u64(s1a);
+  VU s2 = Ops::load_u64(s2a);
+  VU s3 = Ops::load_u64(s3a);
+
+  // Vectorized btrs_setup, term for term (see btrs_setup for the meaning
+  // of each constant). u64_to_double is exactly rounded for the full u64
+  // range, so dn matches static_cast<double>(n) bit-for-bit.
+  const VD p = Ops::load_pd(pa);
+  const VD dn = Ops::u64_to_double(Ops::load_u64(na));
+  const VD one = Ops::set1_pd(1.0);
+  const VD q = Ops::sub_pd(one, p);
+  const VD spq = Ops::sqrt_pd(Ops::mul_pd(Ops::mul_pd(dn, p), q));
+  const VD b =
+      Ops::add_pd(Ops::set1_pd(1.15), Ops::mul_pd(Ops::set1_pd(2.53), spq));
+  const VD a = Ops::add_pd(
+      Ops::add_pd(Ops::set1_pd(-0.0873), Ops::mul_pd(Ops::set1_pd(0.0248), b)),
+      Ops::mul_pd(Ops::set1_pd(0.01), p));
+  const VD c = Ops::add_pd(Ops::mul_pd(dn, p), Ops::set1_pd(0.5));
+  const VD v_r =
+      Ops::sub_pd(Ops::set1_pd(0.92), Ops::div_pd(Ops::set1_pd(4.2), b));
+  const VD m = Ops::floor_pd(Ops::mul_pd(Ops::add_pd(dn, one), p));
+  const VD ratio = Ops::div_pd(p, q);
+  // a + a == 2.0 * a exactly; hoisting it out of the candidate loop
+  // changes no rounding.
+  const VD two_a = Ops::add_pd(a, a);
+  const VD zero = Ops::set1_pd(0.0);
+  const VD squeeze_us = Ops::set1_pd(0.07);
+
+  // Spill the setup for the scalar squeeze-miss path (btrs_accept reads
+  // a BtrsSetup; the spill happens once per group, the miss is rare).
+  alignas(32) double dna[W], spqa[W], ba[W], aa[W], ca[W], vra[W], ma[W],
+      ratioa[W];
+  Ops::store_pd(dna, dn);
+  Ops::store_pd(spqa, spq);
+  Ops::store_pd(ba, b);
+  Ops::store_pd(aa, a);
+  Ops::store_pd(ca, c);
+  Ops::store_pd(vra, v_r);
+  Ops::store_pd(ma, m);
+  Ops::store_pd(ratioa, ratio);
+
+  // f0..f3 capture each lane's stream state at the moment it retires;
+  // live lanes keep stepping garbage afterwards. The captures sit off the
+  // state recurrence's critical path.
+  VU f0 = s0, f1 = s1, f2 = s2, f3 = s3;
+  VD live = Ops::cmpge_pd(zero, zero);  // all lanes live
+  VD result_d = zero;
+  BtrsSlowTerms slow[W];
+  int live_mask = (1 << W) - 1;
+  for (int round = 0; round < kMaxGroupRounds; ++round) {
+    const VD prev_live = live;
+    // Two uniforms and the candidate transform for every lane — the
+    // vectorized heart of the kernel. Order and association match the
+    // scalar sampler exactly: us = 0.5 - |u|,
+    // kd = floor((2a/us + b)*u + c).
+    const VU w_u = lanes_next_u64<Ops>(s0, s1, s2, s3);
+    const VU w_v = lanes_next_u64<Ops>(s0, s1, s2, s3);
+    const VD u = Ops::sub_pd(Ops::to_unit(w_u), Ops::set1_pd(0.5));
+    const VD v = Ops::to_unit(w_v);
+    const VD us = Ops::sub_pd(Ops::set1_pd(0.5), Ops::abs_pd(u));
+    const VD kd = Ops::floor_pd(Ops::add_pd(
+        Ops::mul_pd(Ops::add_pd(Ops::div_pd(two_a, us), b), u), c));
+    // Branchless bookkeeping. kd is never NaN (us == 0 forces |u| = 0.5,
+    // making kd +-inf, which the ordered compares reject cleanly), so
+    // in_range / squeeze / fast / miss are plain sign-bit masks:
+    //   fast  — candidate in [0, dn] and inside the squeeze: retire now;
+    //   miss  — in range but outside the squeeze: scalar btrs_accept;
+    //   rest  — out of range: lane just retries next iteration.
+    const VD in_range =
+        Ops::and_pd(Ops::cmpge_pd(kd, zero), Ops::cmple_pd(kd, dn));
+    const VD squeeze =
+        Ops::and_pd(Ops::cmpge_pd(us, squeeze_us), Ops::cmple_pd(v, v_r));
+    const VD fast = Ops::and_pd(Ops::and_pd(in_range, squeeze), live);
+    result_d = Ops::blend_pd(result_d, kd, fast);
+    live = Ops::andnot_pd(fast, live);
+    const VD miss = Ops::and_pd(Ops::andnot_pd(squeeze, in_range), live);
+    const int mm = Ops::movemask_pd(miss);
+    if (mm != 0) {
+      // Squeeze miss on ~11% of candidates: spill just what btrs_accept
+      // needs, run the affected lanes scalar, and fold accepts back.
+      alignas(32) double va[W], usa[W], kda[W], resa[W];
+      alignas(32) std::uint64_t livea[W];
+      Ops::store_pd(va, v);
+      Ops::store_pd(usa, us);
+      Ops::store_pd(kda, kd);
+      Ops::store_pd(resa, result_d);
+      Ops::store_u64(livea, Ops::castpd_u64(live));
+      bool any = false;
+      for (int l = 0; l < W; ++l) {
+        if (((mm >> l) & 1) == 0) continue;
+        const BtrsSetup setup{dna[l], spqa[l], ba[l], aa[l],
+                              ca[l],  vra[l],  ma[l], ratioa[l]};
+        if (btrs_accept(setup, na[l], va[l], usa[l], kda[l], slow[l])) {
+          resa[l] = kda[l];
+          livea[l] = 0;
+          any = true;
+        }
+      }
+      if (any) {
+        result_d = Ops::load_pd(resa);
+        live = Ops::castu64_pd(Ops::load_u64(livea));
+      }
+    }
+    // Capture the stream state of every lane that retired this round
+    // (prev_live & ~live): a lane's final state is exactly the state
+    // after the two words it just consumed. Lanes retired in earlier
+    // rounds keep their capture — their s registers have advanced past
+    // their draw.
+    const int now_live = Ops::movemask_pd(live);
+    if (now_live != live_mask) {
+      const VU cap = Ops::castpd_u64(Ops::andnot_pd(live, prev_live));
+      f0 = Ops::blend_u64(f0, s0, cap);
+      f1 = Ops::blend_u64(f1, s1, cap);
+      f2 = Ops::blend_u64(f2, s2, cap);
+      f3 = Ops::blend_u64(f3, s3, cap);
+      live_mask = now_live;
+      if (now_live == 0) break;
+    }
+  }
+  // Scatter: retired lanes get their captured state; still-live lanes get
+  // their current state and finish the draw with the scalar sampler —
+  // the same candidate stream, continued.
+  alignas(32) std::uint64_t f0a[W], f1a[W], f2a[W], f3a[W];
+  Ops::store_u64(f0a, f0);
+  Ops::store_u64(f1a, f1);
+  Ops::store_u64(f2a, f2);
+  Ops::store_u64(f3a, f3);
+  Ops::store_u64(s0a, s0);
+  Ops::store_u64(s1a, s1);
+  Ops::store_u64(s2a, s2);
+  Ops::store_u64(s3a, s3);
+  alignas(32) double resa[W];
+  Ops::store_pd(resa, result_d);
+  for (int l = 0; l < W; ++l) {
+    Rng& rng = *batch.rngs[base + l];
+    if (((live_mask >> l) & 1) == 0) {
+      rng.set_state({f0a[l], f1a[l], f2a[l], f3a[l]});
+      batch.outs[base + l] = static_cast<std::uint64_t>(resa[l]);
+    } else {
+      rng.set_state({s0a[l], s1a[l], s2a[l], s3a[l]});
+      const BtrsSetup setup{dna[l], spqa[l], ba[l], aa[l],
+                            ca[l],  vra[l],  ma[l], ratioa[l]};
+      batch.outs[base + l] = btrs(rng, setup, na[l]);
+    }
+  }
+}
+
+template <typename Ops>
+void btrs_lanes_run(const LaneBatchView& batch) {
+  constexpr int W = Ops::kWidth;
+  std::size_t i = 0;
+  for (; i + W <= batch.size; i += W) btrs_group<Ops>(batch, i);
+  // Ragged tail (batch size not a multiple of W): the scalar sampler on
+  // the same shared arithmetic.
+  for (; i < batch.size; ++i) {
+    const BtrsSetup setup = btrs_setup(batch.ns[i], batch.ps[i]);
+    batch.outs[i] = btrs(*batch.rngs[i], setup, batch.ns[i]);
+  }
+}
+
+}  // namespace kusd::rng::detail

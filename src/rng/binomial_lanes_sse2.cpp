@@ -1,0 +1,112 @@
+// SSE2 toolkit (W = 2) for the lane-batched BTRS kernel — compiled with
+// baseline x86-64 flags only, so it is valid on every CPU the binary runs
+// on and serves as the fallback vector tier. SSE2 has no packed floor
+// (that is SSE4.1's roundpd), so floor_pd spills through std::floor;
+// everything else stays in registers.
+#include <emmintrin.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "rng/binomial_lanes_impl.hpp"
+
+namespace kusd::rng::detail {
+
+namespace {
+
+struct Sse2Ops {
+  static constexpr int kWidth = 2;
+  using VU = __m128i;
+  using VD = __m128d;
+
+  static VU load_u64(const std::uint64_t* p) {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  }
+  static void store_u64(std::uint64_t* p, VU x) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), x);
+  }
+  static VD load_pd(const double* p) { return _mm_loadu_pd(p); }
+  static void store_pd(double* p, VD x) { _mm_storeu_pd(p, x); }
+  static VD set1_pd(double x) { return _mm_set1_pd(x); }
+
+  static VU add_u64(VU a, VU b) { return _mm_add_epi64(a, b); }
+  static VU xor_u64(VU a, VU b) { return _mm_xor_si128(a, b); }
+  template <int N>
+  static VU slli(VU x) {
+    return _mm_slli_epi64(x, N);
+  }
+  template <int N>
+  static VU rotl(VU x) {
+    return _mm_or_si128(_mm_slli_epi64(x, N), _mm_srli_epi64(x, 64 - N));
+  }
+  /// mask ? b : a, with mask all-ones or all-zero per 64-bit lane.
+  static VU blend_u64(VU a, VU b, VU mask) {
+    return _mm_or_si128(_mm_and_si128(mask, b), _mm_andnot_si128(mask, a));
+  }
+
+  static VD add_pd(VD a, VD b) { return _mm_add_pd(a, b); }
+  static VD sub_pd(VD a, VD b) { return _mm_sub_pd(a, b); }
+  static VD mul_pd(VD a, VD b) { return _mm_mul_pd(a, b); }
+  static VD div_pd(VD a, VD b) { return _mm_div_pd(a, b); }
+  static VD sqrt_pd(VD a) { return _mm_sqrt_pd(a); }
+  static VD abs_pd(VD a) {
+    return _mm_andnot_pd(_mm_set1_pd(-0.0), a);
+  }
+  static VD cmpge_pd(VD a, VD b) { return _mm_cmpge_pd(a, b); }
+  static VD cmple_pd(VD a, VD b) { return _mm_cmple_pd(a, b); }
+  static VD and_pd(VD a, VD b) { return _mm_and_pd(a, b); }
+  /// ~a & b (the intrinsic's operand order).
+  static VD andnot_pd(VD a, VD b) { return _mm_andnot_pd(a, b); }
+  /// mask ? b : a, with mask all-ones or all-zero per lane.
+  static VD blend_pd(VD a, VD b, VD mask) {
+    return _mm_or_pd(_mm_and_pd(mask, b), _mm_andnot_pd(mask, a));
+  }
+  static int movemask_pd(VD a) { return _mm_movemask_pd(a); }
+  static VU castpd_u64(VD a) { return _mm_castpd_si128(a); }
+  static VD castu64_pd(VU a) { return _mm_castsi128_pd(a); }
+  /// Per-lane std::floor (SSE2 has no packed floor instruction). Exact by
+  /// definition, including the +-inf lanes a zero `us` produces.
+  static VD floor_pd(VD a) {
+    alignas(16) double tmp[2];
+    _mm_store_pd(tmp, a);
+    tmp[0] = std::floor(tmp[0]);
+    tmp[1] = std::floor(tmp[1]);
+    return _mm_load_pd(tmp);
+  }
+
+  /// u64 -> double, correctly rounded over the full u64 range: graft the
+  /// 32-bit halves of v onto the exponents 2^52 and 2^84, then
+  /// (hi_d - (2^84 + 2^52)) + lo_d. The subtraction is exact
+  /// ((hi - 2^20) * 2^32 needs <= 33 significand bits) and the final add
+  /// is one correctly-rounded operation whose real-valued sum is v, so
+  /// the result equals static_cast<double>(v) bit-for-bit.
+  static VD u64_to_double(VU v) {
+    const __m128i mask32 = _mm_set1_epi64x(0xFFFFFFFFLL);
+    const __m128i exp52 = _mm_set1_epi64x(0x4330000000000000LL);  // 2^52
+    const __m128i exp84 = _mm_set1_epi64x(0x4530000000000000LL);  // 2^84
+    const __m128d bias = _mm_set1_pd(1.9342813118337666422669312e25);
+    const __m128i v_lo = _mm_or_si128(_mm_and_si128(v, mask32), exp52);
+    const __m128i v_hi = _mm_or_si128(_mm_srli_epi64(v, 32), exp84);
+    return _mm_add_pd(_mm_sub_pd(_mm_castsi128_pd(v_hi), bias),
+                      _mm_castsi128_pd(v_lo));
+  }
+
+  /// (word >> 11) * 2^-53, the Rng::uniform01 mapping, bit-identical to
+  /// the scalar expression (the conversion input is < 2^53, where the
+  /// graft above is exact rather than merely correctly rounded).
+  static VD to_unit(VU word) {
+    return _mm_mul_pd(u64_to_double(_mm_srli_epi64(word, 11)),
+                      _mm_set1_pd(0x1.0p-53));
+  }
+};
+
+}  // namespace
+
+void btrs_lanes_sse2(const LaneBatchView& batch) {
+  // Two interleaved xmm pairs (W = 4): the dependency chains of the two
+  // halves overlap in the OOO window, hiding most of the div/sqrt latency
+  // a single xmm group would expose.
+  btrs_lanes_run<DualOps<Sse2Ops>>(batch);
+}
+
+}  // namespace kusd::rng::detail

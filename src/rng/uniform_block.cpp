@@ -1,0 +1,52 @@
+#include "rng/uniform_block.hpp"
+
+#include "rng/rng.hpp"
+#include "rng/simd.hpp"
+#include "rng/uniform_block_tiers.hpp"
+
+namespace kusd::rng {
+
+namespace {
+
+/// Portable reference path; the SIMD tiers must match it bit-for-bit.
+void fill_scalar(std::uint64_t key, std::uint64_t counter_hi,
+                 std::uint64_t counter_lo, std::span<double> out) {
+  std::size_t i = 0;
+  for (; i + 2 <= out.size(); i += 2, ++counter_lo) {
+    const auto block = philox2x64(counter_lo, counter_hi, key);
+    out[i] = static_cast<double>(block[0] >> 11) * 0x1.0p-53;
+    out[i + 1] = static_cast<double>(block[1] >> 11) * 0x1.0p-53;
+  }
+  if (i < out.size()) {
+    const auto block = philox2x64(counter_lo, counter_hi, key);
+    out[i] = static_cast<double>(block[0] >> 11) * 0x1.0p-53;
+  }
+}
+
+}  // namespace
+
+void uniform_block(std::uint64_t key, std::uint64_t counter_hi,
+                   std::uint64_t counter_lo, std::span<double> out) {
+#if defined(KUSD_SIMD_ENABLED)
+  switch (simd::active_tier()) {
+    case simd::Tier::kAvx2:
+      detail::uniform_block_avx2(key, counter_hi, counter_lo, out);
+      return;
+    case simd::Tier::kSse2:
+      detail::uniform_block_sse2(key, counter_hi, counter_lo, out);
+      return;
+    case simd::Tier::kScalar:
+      break;
+  }
+#endif
+  fill_scalar(key, counter_hi, counter_lo, out);
+}
+
+void PhiloxUniformStream::refill() {
+  buffer_.resize(kBufferSize);
+  uniform_block(key_, counter_hi_, counter_lo_, buffer_);
+  counter_lo_ += kBufferSize / 2;
+  position_ = 0;
+}
+
+}  // namespace kusd::rng

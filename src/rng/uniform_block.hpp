@@ -1,0 +1,63 @@
+// Counter-based uniform keystream blocks: the vectorizable complement of
+// the per-trial xoshiro streams.
+//
+// uniform_block fills a caller-provided span with uniforms in [0, 1)
+// derived purely from (key, counter): Philox-2x64-10 block i of the
+// keystream supplies out[2i] and out[2i + 1], each 64-bit word mapped
+// exactly like Rng::uniform01 ((word >> 11) * 2^-53). Because the stream
+// is a pure function of the counter, any sub-range can be regenerated
+// independently — which is what lets the SSE2/AVX2 tiers compute lanes of
+// blocks in parallel and what makes the shared lockstep schedule
+// self-deterministic (one stream, no per-trial state to gather).
+//
+// Bit-identity: every tier is required — and tested, plus re-audited on
+// each bench_simd_sampler run — to produce the same bytes as the scalar
+// reference path for every (key, counter, length).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace kusd::rng {
+
+/// Fill `out` with uniforms in [0, 1): out[2i] / out[2i + 1] come from
+/// the Philox block at counter (counter_lo + i, counter_hi) under `key`
+/// (counter_lo wraps mod 2^64; counter_hi is never carried into).
+/// Dispatched over the active SIMD tier; bit-identical across tiers.
+void uniform_block(std::uint64_t key, std::uint64_t counter_hi,
+                   std::uint64_t counter_lo, std::span<double> out);
+
+/// Buffered sequential reader over the uniform_block keystream: uniform01
+/// yields exactly the uniform_block(key, counter_hi, 0, ...) sequence,
+/// refilled a batch of blocks at a time through the SIMD path. This is
+/// the uniform source of the shared lockstep schedule: one stream,
+/// consumed in deterministic batch order, replacing per-trial stream
+/// bookkeeping. Satisfies the same uniform01() shape as Rng, so the
+/// templated samplers in rng/binomial_detail.hpp draw from either.
+class PhiloxUniformStream {
+ public:
+  PhiloxUniformStream(std::uint64_t key, std::uint64_t counter_hi)
+      : key_(key), counter_hi_(counter_hi) {}
+
+  /// Next uniform in [0, 1); same value contract as Rng::uniform01.
+  double uniform01() {
+    if (position_ == buffer_.size()) refill();
+    return buffer_[position_++];
+  }
+
+ private:
+  // 2 doubles per Philox block and a multiple of every lane width, so
+  // refills always run the widest kernel with no ragged tail.
+  static constexpr std::size_t kBufferSize = 512;
+
+  void refill();
+
+  std::uint64_t key_;
+  std::uint64_t counter_hi_;
+  std::uint64_t counter_lo_ = 0;
+  std::size_t position_ = 0;
+  std::vector<double> buffer_;
+};
+
+}  // namespace kusd::rng

@@ -1,0 +1,134 @@
+// AVX2 tier of rng::uniform_block: four Philox-2x64-10 blocks (eight
+// uniforms) per iteration. Same construction as the SSE2 tier at twice
+// the lane width — see uniform_block_sse2.cpp for the exactness argument
+// of the 32-bit-limb multiply and the u64 -> double graft; both are
+// lane-width-independent, which is what keeps every tier bit-identical.
+//
+// Compiled with -mavx2 (and -ffp-contract=off, so no FMA contraction can
+// alter a rounding) only in SIMD-enabled builds; the dispatcher guards
+// all calls with a runtime cpuid probe.
+#include <immintrin.h>
+
+#include "rng/rng.hpp"
+#include "rng/uniform_block_tiers.hpp"
+
+namespace kusd::rng::detail {
+
+namespace {
+
+inline void mul_philox_full(__m256i a, __m256i& hi, __m256i& lo) {
+  const __m256i mask32 = _mm256_set1_epi64x(0xFFFFFFFFLL);
+  const __m256i b_lo = _mm256_set1_epi64x(
+      static_cast<long long>(kPhiloxMultiplier & 0xFFFFFFFFULL));
+  const __m256i b_hi =
+      _mm256_set1_epi64x(static_cast<long long>(kPhiloxMultiplier >> 32));
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);
+  const __m256i p00 = _mm256_mul_epu32(a, b_lo);
+  const __m256i p01 = _mm256_mul_epu32(a, b_hi);
+  const __m256i p10 = _mm256_mul_epu32(a_hi, b_lo);
+  const __m256i p11 = _mm256_mul_epu32(a_hi, b_hi);
+  const __m256i mid = _mm256_add_epi64(
+      _mm256_add_epi64(_mm256_srli_epi64(p00, 32),
+                       _mm256_and_si256(p01, mask32)),
+      _mm256_and_si256(p10, mask32));
+  lo = _mm256_or_si256(_mm256_and_si256(p00, mask32),
+                       _mm256_slli_epi64(mid, 32));
+  hi = _mm256_add_epi64(
+      _mm256_add_epi64(p11, _mm256_srli_epi64(mid, 32)),
+      _mm256_add_epi64(_mm256_srli_epi64(p01, 32),
+                       _mm256_srli_epi64(p10, 32)));
+}
+
+inline __m256d to_unit(__m256i word) {
+  const __m256i mask32 = _mm256_set1_epi64x(0xFFFFFFFFLL);
+  const __m256i exp52 = _mm256_set1_epi64x(0x4330000000000000LL);  // 2^52
+  const __m256i exp84 = _mm256_set1_epi64x(0x4530000000000000LL);  // 2^84
+  const __m256d bias = _mm256_set1_pd(1.9342813118337666422669312e25);
+  const __m256d scale = _mm256_set1_pd(0x1.0p-53);
+  const __m256i v = _mm256_srli_epi64(word, 11);
+  const __m256i v_lo = _mm256_or_si256(_mm256_and_si256(v, mask32), exp52);
+  const __m256i v_hi = _mm256_or_si256(_mm256_srli_epi64(v, 32), exp84);
+  const __m256d d = _mm256_add_pd(
+      _mm256_sub_pd(_mm256_castsi256_pd(v_hi), bias),
+      _mm256_castsi256_pd(v_lo));
+  return _mm256_mul_pd(d, scale);
+}
+
+}  // namespace
+
+void uniform_block_avx2(std::uint64_t key, std::uint64_t counter_hi,
+                        std::uint64_t counter_lo, std::span<double> out) {
+  const __m256i weyl =
+      _mm256_set1_epi64x(static_cast<long long>(kPhiloxWeyl));
+  std::size_t i = 0;
+  // Four independent round chains per iteration (16 blocks, 32 doubles):
+  // one chain is a serial 10-round dependency whose emulated 64-bit
+  // multiply leaves the integer ports mostly idle; four chains at the
+  // same depth keep them saturated (measured ~1.7x over a single chain
+  // on the dev container).
+  for (; i + 32 <= out.size(); i += 32, counter_lo += 16) {
+    __m256i x0[4], x1[4], k[4];
+    for (int c = 0; c < 4; ++c) {
+      const std::uint64_t base = counter_lo + 4ull * static_cast<unsigned>(c);
+      x0[c] = _mm256_set_epi64x(static_cast<long long>(base + 3),
+                                static_cast<long long>(base + 2),
+                                static_cast<long long>(base + 1),
+                                static_cast<long long>(base));
+      x1[c] = _mm256_set1_epi64x(static_cast<long long>(counter_hi));
+      k[c] = _mm256_set1_epi64x(static_cast<long long>(key));
+    }
+    for (int round = 0; round < 10; ++round) {
+      for (int c = 0; c < 4; ++c) {
+        __m256i hi, lo;
+        mul_philox_full(x0[c], hi, lo);
+        x0[c] = _mm256_xor_si256(_mm256_xor_si256(hi, k[c]), x1[c]);
+        x1[c] = lo;
+        k[c] = _mm256_add_epi64(k[c], weyl);
+      }
+    }
+    for (int c = 0; c < 4; ++c) {
+      const __m256d d0 = to_unit(x0[c]);
+      const __m256d d1 = to_unit(x1[c]);
+      const __m256d even = _mm256_unpacklo_pd(d0, d1);
+      const __m256d odd = _mm256_unpackhi_pd(d0, d1);
+      _mm256_storeu_pd(&out[i + 8 * static_cast<std::size_t>(c)],
+                       _mm256_permute2f128_pd(even, odd, 0x20));
+      _mm256_storeu_pd(&out[i + 8 * static_cast<std::size_t>(c) + 4],
+                       _mm256_permute2f128_pd(even, odd, 0x31));
+    }
+  }
+  for (; i + 8 <= out.size(); i += 8, counter_lo += 4) {
+    __m256i x0 = _mm256_set_epi64x(static_cast<long long>(counter_lo + 3),
+                                   static_cast<long long>(counter_lo + 2),
+                                   static_cast<long long>(counter_lo + 1),
+                                   static_cast<long long>(counter_lo));
+    __m256i x1 = _mm256_set1_epi64x(static_cast<long long>(counter_hi));
+    __m256i k = _mm256_set1_epi64x(static_cast<long long>(key));
+    for (int round = 0; round < 10; ++round) {
+      __m256i hi, lo;
+      mul_philox_full(x0, hi, lo);
+      x0 = _mm256_xor_si256(_mm256_xor_si256(hi, k), x1);
+      x1 = lo;
+      k = _mm256_add_epi64(k, weyl);
+    }
+    // Interleave per block: out[2j] from x0's lane j, out[2j + 1] from
+    // x1's. unpack keeps 128-bit halves together, so a cross-half permute
+    // restores block order.
+    const __m256d d0 = to_unit(x0);
+    const __m256d d1 = to_unit(x1);
+    const __m256d even = _mm256_unpacklo_pd(d0, d1);
+    const __m256d odd = _mm256_unpackhi_pd(d0, d1);
+    _mm256_storeu_pd(&out[i], _mm256_permute2f128_pd(even, odd, 0x20));
+    _mm256_storeu_pd(&out[i + 4], _mm256_permute2f128_pd(even, odd, 0x31));
+  }
+  // Ragged tail (< 4 full blocks): the scalar reference arithmetic.
+  for (; i < out.size(); i += 2, ++counter_lo) {
+    const auto block = philox2x64(counter_lo, counter_hi, key);
+    out[i] = static_cast<double>(block[0] >> 11) * 0x1.0p-53;
+    if (i + 1 < out.size()) {
+      out[i + 1] = static_cast<double>(block[1] >> 11) * 0x1.0p-53;
+    }
+  }
+}
+
+}  // namespace kusd::rng::detail

@@ -1,0 +1,138 @@
+// SSE2 tier of rng::uniform_block: two Philox-2x64-10 blocks (four
+// uniforms) per iteration. SSE2 is part of the x86-64 baseline, so this
+// TU carries no extra -m flags and serves as the fallback vector tier on
+// pre-AVX2 hardware.
+//
+// Bit-identity with the scalar path holds because every step is either
+// integer arithmetic (trivially exact) or one of the two floating-point
+// sequences proved exact below (the u64 -> double graft in to_unit); no
+// step depends on the lane width.
+#include <emmintrin.h>
+
+#include "rng/rng.hpp"
+#include "rng/uniform_block_tiers.hpp"
+
+namespace kusd::rng::detail {
+
+namespace {
+
+/// Full 64x64 -> 128 multiply of each lane by kPhiloxMultiplier, built
+/// from 32-bit partial products (_mm_mul_epu32 is the widest SSE2
+/// multiply): with a = (a_hi:a_lo) and b = (b_hi:b_lo),
+///   lo = (a_lo*b_lo).lo | (mid << 32),
+///   hi = a_hi*b_hi + (a_lo*b_hi).hi + (a_hi*b_lo).hi + (mid >> 32),
+///   mid = (a_lo*b_lo).hi + (a_lo*b_hi).lo + (a_hi*b_lo).lo  (< 2^34).
+inline void mul_philox_full(__m128i a, __m128i& hi, __m128i& lo) {
+  const __m128i mask32 = _mm_set1_epi64x(0xFFFFFFFFLL);
+  const __m128i b_lo =
+      _mm_set1_epi64x(static_cast<long long>(kPhiloxMultiplier & 0xFFFFFFFFULL));
+  const __m128i b_hi =
+      _mm_set1_epi64x(static_cast<long long>(kPhiloxMultiplier >> 32));
+  const __m128i a_hi = _mm_srli_epi64(a, 32);
+  const __m128i p00 = _mm_mul_epu32(a, b_lo);
+  const __m128i p01 = _mm_mul_epu32(a, b_hi);
+  const __m128i p10 = _mm_mul_epu32(a_hi, b_lo);
+  const __m128i p11 = _mm_mul_epu32(a_hi, b_hi);
+  const __m128i mid = _mm_add_epi64(
+      _mm_add_epi64(_mm_srli_epi64(p00, 32), _mm_and_si128(p01, mask32)),
+      _mm_and_si128(p10, mask32));
+  lo = _mm_or_si128(_mm_and_si128(p00, mask32), _mm_slli_epi64(mid, 32));
+  hi = _mm_add_epi64(
+      _mm_add_epi64(p11, _mm_srli_epi64(mid, 32)),
+      _mm_add_epi64(_mm_srli_epi64(p01, 32), _mm_srli_epi64(p10, 32)));
+}
+
+/// (word >> 11) * 2^-53 with the u64 -> double conversion done exactly in
+/// SSE2 (which has no 64-bit int -> double instruction): graft the 32-bit
+/// halves of v = word >> 11 (< 2^53) onto the exponents 2^52 and 2^84,
+/// then (hi_d - (2^84 + 2^52)) + lo_d == v with every operation exact —
+/// so the result is bit-identical to the scalar
+/// static_cast<double>(v) * 2^-53.
+inline __m128d to_unit(__m128i word) {
+  const __m128i mask32 = _mm_set1_epi64x(0xFFFFFFFFLL);
+  const __m128i exp52 = _mm_set1_epi64x(0x4330000000000000LL);  // 2^52
+  const __m128i exp84 = _mm_set1_epi64x(0x4530000000000000LL);  // 2^84
+  const __m128d bias = _mm_set1_pd(1.9342813118337666422669312e25);
+  const __m128d scale = _mm_set1_pd(0x1.0p-53);
+  const __m128i v = _mm_srli_epi64(word, 11);
+  const __m128i v_lo = _mm_or_si128(_mm_and_si128(v, mask32), exp52);
+  const __m128i v_hi = _mm_or_si128(_mm_srli_epi64(v, 32), exp84);
+  const __m128d d = _mm_add_pd(_mm_sub_pd(_mm_castsi128_pd(v_hi), bias),
+                               _mm_castsi128_pd(v_lo));
+  return _mm_mul_pd(d, scale);
+}
+
+}  // namespace
+
+void uniform_block_sse2(std::uint64_t key, std::uint64_t counter_hi,
+                        std::uint64_t counter_lo, std::span<double> out) {
+  const __m128i weyl =
+      _mm_set1_epi64x(static_cast<long long>(kPhiloxWeyl));
+  std::size_t i = 0;
+  // Two independent round chains per iteration (4 blocks, 8 doubles):
+  // a single chain is a serial 10-round dependency, so pairing chains at
+  // the same depth overlaps the emulated-multiply latency (the same
+  // latency-hiding move as the AVX2 tier's four chains, kept at two here
+  // to stay within the 16 xmm registers).
+  for (; i + 8 <= out.size(); i += 8, counter_lo += 4) {
+    __m128i a0 = _mm_set_epi64x(static_cast<long long>(counter_lo + 1),
+                                static_cast<long long>(counter_lo));
+    __m128i b0 = _mm_set_epi64x(static_cast<long long>(counter_lo + 3),
+                                static_cast<long long>(counter_lo + 2));
+    __m128i a1 = _mm_set1_epi64x(static_cast<long long>(counter_hi));
+    __m128i b1 = a1;
+    __m128i ka = _mm_set1_epi64x(static_cast<long long>(key));
+    __m128i kb = ka;
+    for (int round = 0; round < 10; ++round) {
+      __m128i hia, loa, hib, lob;
+      mul_philox_full(a0, hia, loa);
+      mul_philox_full(b0, hib, lob);
+      a0 = _mm_xor_si128(_mm_xor_si128(hia, ka), a1);
+      b0 = _mm_xor_si128(_mm_xor_si128(hib, kb), b1);
+      a1 = loa;
+      b1 = lob;
+      ka = _mm_add_epi64(ka, weyl);
+      kb = _mm_add_epi64(kb, weyl);
+    }
+    {
+      const __m128d d0 = to_unit(a0);
+      const __m128d d1 = to_unit(a1);
+      _mm_storeu_pd(&out[i], _mm_unpacklo_pd(d0, d1));
+      _mm_storeu_pd(&out[i + 2], _mm_unpackhi_pd(d0, d1));
+    }
+    {
+      const __m128d d0 = to_unit(b0);
+      const __m128d d1 = to_unit(b1);
+      _mm_storeu_pd(&out[i + 4], _mm_unpacklo_pd(d0, d1));
+      _mm_storeu_pd(&out[i + 6], _mm_unpackhi_pd(d0, d1));
+    }
+  }
+  for (; i + 4 <= out.size(); i += 4, counter_lo += 2) {
+    __m128i x0 = _mm_set_epi64x(static_cast<long long>(counter_lo + 1),
+                                static_cast<long long>(counter_lo));
+    __m128i x1 = _mm_set1_epi64x(static_cast<long long>(counter_hi));
+    __m128i k = _mm_set1_epi64x(static_cast<long long>(key));
+    for (int round = 0; round < 10; ++round) {
+      __m128i hi, lo;
+      mul_philox_full(x0, hi, lo);
+      x0 = _mm_xor_si128(_mm_xor_si128(hi, k), x1);
+      x1 = lo;
+      k = _mm_add_epi64(k, weyl);
+    }
+    // Block j yields out[2j] from x0's lane j and out[2j + 1] from x1's.
+    const __m128d d0 = to_unit(x0);
+    const __m128d d1 = to_unit(x1);
+    _mm_storeu_pd(&out[i], _mm_unpacklo_pd(d0, d1));
+    _mm_storeu_pd(&out[i + 2], _mm_unpackhi_pd(d0, d1));
+  }
+  // Ragged tail (< 2 full blocks): the scalar reference arithmetic.
+  for (; i < out.size(); i += 2, ++counter_lo) {
+    const auto block = philox2x64(counter_lo, counter_hi, key);
+    out[i] = static_cast<double>(block[0] >> 11) * 0x1.0p-53;
+    if (i + 1 < out.size()) {
+      out[i + 1] = static_cast<double>(block[1] >> 11) * 0x1.0p-53;
+    }
+  }
+}
+
+}  // namespace kusd::rng::detail

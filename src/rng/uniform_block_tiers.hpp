@@ -1,0 +1,18 @@
+// Internal: per-ISA entry points of rng::uniform_block. Definitions live
+// in uniform_block_{sse2,avx2}.cpp and exist only in SIMD-enabled builds
+// (KUSD_SIMD=ON on x86-64); the dispatcher in uniform_block.cpp gates
+// every call on KUSD_SIMD_ENABLED and the active tier, so scalar-only
+// builds never reference them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace kusd::rng::detail {
+
+void uniform_block_sse2(std::uint64_t key, std::uint64_t counter_hi,
+                        std::uint64_t counter_lo, std::span<double> out);
+void uniform_block_avx2(std::uint64_t key, std::uint64_t counter_hi,
+                        std::uint64_t counter_lo, std::span<double> out);
+
+}  // namespace kusd::rng::detail

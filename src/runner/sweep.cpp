@@ -97,6 +97,7 @@ sim::EngineOptions engine_options(const SweepSpec& spec,
   sim::EngineOptions options;
   options.batch.chunk_fraction = spec.batch_chunk_fraction;
   options.batch.policy = spec.batch_policy;
+  options.lockstep_schedule = spec.lockstep_schedule;
   if (point.graph.has_value()) {
     options.graph = *point.graph;
     if (topology.graph.has_value()) options.shared_graph = &*topology.graph;

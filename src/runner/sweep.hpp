@@ -124,6 +124,10 @@ struct SweepSpec {
   double batch_chunk_fraction = core::BatchedOptions{}.chunk_fraction;
   /// Chunk policy for the batched engine.
   core::ChunkPolicy batch_policy = core::ChunkPolicy::kFixed;
+  /// Schedule ownership of the batched-lockstep engine: per-trial
+  /// controllers (bit-identical to the scalar engine) or one shared
+  /// controller + uniform stream per cell (throughput mode, KS-gated).
+  core::LockstepSchedule lockstep_schedule = core::LockstepSchedule::kPerTrial;
   /// Stripe grid points (instead of trials within a point) over the pool;
   /// see the file comment. Output is identical either way.
   bool point_parallelism = false;

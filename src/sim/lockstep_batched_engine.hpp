@@ -30,7 +30,7 @@ namespace kusd::sim {
 class LockstepBatchedEngine final : public Engine {
  public:
   LockstepBatchedEngine(const pp::Configuration& initial, std::uint64_t seed,
-                        const core::ChunkOptions& options)
+                        const core::LockstepOptions& options)
       : sim_(initial, std::span<const std::uint64_t>(&seed, 1), options) {}
 
   void advance(std::uint64_t budget) override {
@@ -58,11 +58,13 @@ class LockstepBatchedEngine final : public Engine {
 };
 
 /// The EngineInfo::lockstep runner of `batched-lockstep`: one lockstep
-/// kernel pass over the whole seed batch, results in seed order. Each
-/// trial's outcome is bit-identical to the single-trial engine run with
-/// the same seed and budget.
+/// kernel pass over the whole seed batch, results in seed order. Under
+/// the per-trial schedule each trial's outcome is bit-identical to the
+/// single-trial engine run with the same seed and budget; under the
+/// shared schedule the batch shares one chunk controller and uniform
+/// stream (self-deterministic, KS-gated — see core/lockstep_usd.hpp).
 [[nodiscard]] std::vector<LockstepTrialResult> run_lockstep_trials(
     const pp::Configuration& initial, std::span<const std::uint64_t> seeds,
-    const core::ChunkOptions& options, std::uint64_t budget);
+    const core::LockstepOptions& options, std::uint64_t budget);
 
 }  // namespace kusd::sim

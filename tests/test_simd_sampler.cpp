@@ -1,0 +1,310 @@
+// SIMD sampling fast path: cross-tier bit-identity and edge cases.
+//
+// The dispatch contract (rng/simd.hpp) is that the instruction-set tier
+// is purely a throughput knob — every tier produces the same bytes for
+// every input. These tests pin that contract where it is most likely to
+// crack: ragged tails, degenerate parameters, the BINV/BTRS cutoff, and
+// counts near the 2^63 cap. Each parameterized case runs under every
+// tier the host supports, forced via simd::set_tier.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rng/binomial.hpp"
+#include "rng/rng.hpp"
+#include "rng/simd.hpp"
+#include "rng/uniform_block.hpp"
+
+namespace kusd {
+namespace {
+
+using rng::simd::Tier;
+
+/// Force a tier for one scope and restore the host's widest on exit, so
+/// a failing test cannot leak a narrowed tier into the rest of the
+/// suite.
+class TierGuard {
+ public:
+  explicit TierGuard(Tier tier) { installed_ = rng::simd::set_tier(tier); }
+  ~TierGuard() { rng::simd::set_tier(rng::simd::supported_tier()); }
+  TierGuard(const TierGuard&) = delete;
+  TierGuard& operator=(const TierGuard&) = delete;
+
+  /// The tier actually installed (clamped to what the host supports).
+  [[nodiscard]] Tier installed() const { return installed_; }
+
+ private:
+  Tier installed_;
+};
+
+std::vector<Tier> tiers_up_to_supported() {
+  std::vector<Tier> tiers = {Tier::kScalar};
+  if (rng::simd::supported_tier() >= Tier::kSse2) tiers.push_back(Tier::kSse2);
+  if (rng::simd::supported_tier() >= Tier::kAvx2) tiers.push_back(Tier::kAvx2);
+  return tiers;
+}
+
+// ---- uniform_block ----
+
+TEST(UniformBlock, MatchesPhiloxReferenceOnEveryTier) {
+  // Ground truth straight from the philox2x64 definition, independent of
+  // any fill kernel: out[2i] / out[2i + 1] are block (counter_lo + i)'s
+  // words mapped by (word >> 11) * 2^-53.
+  const std::uint64_t key = 0x5EED;
+  const std::uint64_t counter_hi = 7;
+  const std::uint64_t counter_lo = 12345;
+  const std::size_t size = 1025;  // odd: ends mid-block
+  std::vector<double> expected(size);
+  for (std::size_t i = 0; i < size; i += 2) {
+    const auto block =
+        rng::philox2x64(counter_lo + i / 2, counter_hi, key);
+    expected[i] = static_cast<double>(block[0] >> 11) * 0x1.0p-53;
+    if (i + 1 < size) {
+      expected[i + 1] = static_cast<double>(block[1] >> 11) * 0x1.0p-53;
+    }
+  }
+  for (const Tier tier : tiers_up_to_supported()) {
+    TierGuard guard(tier);
+    std::vector<double> out(size, -1.0);
+    rng::uniform_block(key, counter_hi, counter_lo, out);
+    EXPECT_EQ(out, expected) << "tier " << rng::simd::to_string(tier);
+  }
+}
+
+TEST(UniformBlock, RaggedTailsAreBitIdenticalAcrossTiers) {
+  // Sizes straddling every lane-width boundary: empty, sub-block, one
+  // SSE2 iteration, one AVX2 iteration, the interleaved main-loop widths
+  // (8 SSE2 / 32 AVX2), the stream refill size, and off-by-one around
+  // each.
+  const std::size_t sizes[] = {0,  1,  2,  3,  4,  5,  7,  8,   9,
+                               15, 16, 17, 31, 32, 33, 63, 512, 1025};
+  for (const std::size_t size : sizes) {
+    std::vector<double> reference(size, -1.0);
+    {
+      TierGuard guard(Tier::kScalar);
+      rng::uniform_block(0xAB5EED, 3, 999, reference);
+    }
+    for (const Tier tier : tiers_up_to_supported()) {
+      TierGuard guard(tier);
+      std::vector<double> out(size, -2.0);
+      rng::uniform_block(0xAB5EED, 3, 999, out);
+      EXPECT_EQ(out, reference)
+          << "tier " << rng::simd::to_string(tier) << " size " << size;
+    }
+  }
+}
+
+TEST(UniformBlock, KeyAndCounterSelectDistinctStreams) {
+  std::vector<double> base(64), other(64);
+  rng::uniform_block(1, 2, 3, base);
+  rng::uniform_block(4, 2, 3, other);
+  EXPECT_NE(base, other) << "key must select the stream";
+  rng::uniform_block(1, 5, 3, other);
+  EXPECT_NE(base, other) << "counter_hi must select the stream";
+  rng::uniform_block(1, 2, 4, other);
+  EXPECT_NE(base, other) << "counter_lo must shift the stream";
+  // Shifting counter_lo by one shifts the output by one block (2 doubles).
+  EXPECT_EQ(std::vector<double>(base.begin() + 2, base.end()),
+            std::vector<double>(other.begin(), other.end() - 2));
+}
+
+TEST(UniformBlock, StreamReplaysTheBlockKeystreamAcrossRefills) {
+  // PhiloxUniformStream::uniform01 must walk exactly the
+  // uniform_block(key, counter_hi, 0, ...) sequence, including across
+  // its 512-double refill boundary, on every tier.
+  const std::size_t draws = 1300;  // > two refills
+  std::vector<double> expected(draws);
+  {
+    TierGuard guard(Tier::kScalar);
+    rng::uniform_block(0xFEED, 11, 0, expected);
+  }
+  for (const Tier tier : tiers_up_to_supported()) {
+    TierGuard guard(tier);
+    rng::PhiloxUniformStream stream(0xFEED, 11);
+    for (std::size_t i = 0; i < draws; ++i) {
+      ASSERT_EQ(stream.uniform01(), expected[i])
+          << "tier " << rng::simd::to_string(tier) << " draw " << i;
+    }
+  }
+}
+
+// ---- binomial / binomial_batch edge cases ----
+
+/// Run one (n, p) through scalar rng::binomial and through
+/// binomial_batch on the given tier with fresh copies of the same
+/// stream; both results and the post-draw stream positions must agree.
+void expect_batch_matches_scalar(std::uint64_t n, double p, Tier tier,
+                                 std::uint64_t seed) {
+  TierGuard guard(tier);
+  rng::Rng scalar_rng(seed);
+  rng::Rng batch_rng(seed);
+  const std::uint64_t ns[] = {n};
+  const double ps[] = {p};
+  std::uint64_t out[] = {~std::uint64_t{0}};
+  rng::Rng* ptrs[] = {&batch_rng};
+  rng::binomial_batch(std::span<rng::Rng* const>(ptrs),
+                      std::span<const std::uint64_t>(ns),
+                      std::span<const double>(ps),
+                      std::span<std::uint64_t>(out));
+  const std::uint64_t expected = rng::binomial(scalar_rng, n, p);
+  EXPECT_EQ(out[0], expected)
+      << "n=" << n << " p=" << p << " tier " << rng::simd::to_string(tier);
+  EXPECT_EQ(batch_rng.next_u64(), scalar_rng.next_u64())
+      << "stream position diverged at n=" << n << " p=" << p << " tier "
+      << rng::simd::to_string(tier);
+}
+
+TEST(BinomialEdge, DegenerateParameters) {
+  for (const Tier tier : tiers_up_to_supported()) {
+    // p = 0 and n = 0 return 0; p = 1 returns n. None consume
+    // randomness (checked via the stream-position assertion).
+    expect_batch_matches_scalar(0, 0.5, tier, 41);
+    expect_batch_matches_scalar(5000, 0.0, tier, 42);
+    expect_batch_matches_scalar(5000, 1.0, tier, 43);
+    expect_batch_matches_scalar(1, 0.5, tier, 44);  // single Bernoulli
+  }
+  rng::Rng rng_a(45);
+  EXPECT_EQ(rng::binomial(rng_a, 0, 0.7), 0u);
+  EXPECT_EQ(rng::binomial(rng_a, 123, 0.0), 0u);
+  EXPECT_EQ(rng::binomial(rng_a, 123, 1.0), 123u);
+  // Degenerate draws consumed nothing: the stream is still at origin.
+  rng::Rng rng_b(45);
+  EXPECT_EQ(rng_a.next_u64(), rng_b.next_u64());
+}
+
+TEST(BinomialEdge, MeanStraddlingTheBtrsCutoff) {
+  // np just below 10 routes to BINV, just above to BTRS; both sides must
+  // match the scalar sampler bit for bit on every tier.
+  for (const Tier tier : tiers_up_to_supported()) {
+    for (std::uint64_t seed = 50; seed < 58; ++seed) {
+      expect_batch_matches_scalar(1000, 0.00999, tier, seed);   // np = 9.99
+      expect_batch_matches_scalar(1000, 0.010001, tier, seed);  // np > 10
+      expect_batch_matches_scalar(100000, 0.0000999, tier, seed);
+      expect_batch_matches_scalar(100000, 0.0001001, tier, seed);
+    }
+  }
+}
+
+TEST(BinomialEdge, HugeCountsNearTheCap) {
+  // n near 2^63: exercises the BTRS setup at extreme scale and the
+  // reflection path's n - Binomial(n, 1 - p) subtraction.
+  const std::uint64_t huge = std::uint64_t{1} << 62;
+  for (const Tier tier : tiers_up_to_supported()) {
+    for (std::uint64_t seed = 60; seed < 64; ++seed) {
+      expect_batch_matches_scalar(huge, 1e-18, tier, seed);  // np < 10: BINV
+      expect_batch_matches_scalar(huge, 0.3, tier, seed);
+      expect_batch_matches_scalar(huge, 0.97, tier, seed);  // reflection
+    }
+    TierGuard guard(tier);
+    rng::Rng rng_sanity(65);
+    const std::uint64_t draw = rng::binomial(rng_sanity, huge, 0.3);
+    EXPECT_LE(draw, huge);
+    // A draw at this n concentrates within ~1e7 of the mean; a factor-2
+    // band catches sign/overflow bugs without flaking.
+    EXPECT_GT(draw, huge / 5);
+    EXPECT_LT(draw, huge / 2);
+  }
+}
+
+TEST(BinomialEdge, ReflectionAboveHalf) {
+  for (const Tier tier : tiers_up_to_supported()) {
+    for (std::uint64_t seed = 70; seed < 74; ++seed) {
+      expect_batch_matches_scalar(40, 0.999, tier, seed);
+      expect_batch_matches_scalar(5000, 0.75, tier, seed);
+      expect_batch_matches_scalar(5000, 0.5, tier, seed);  // boundary
+    }
+  }
+}
+
+TEST(BinomialEdge, RaggedBatchSizesMatchScalarLoopOnEveryTier) {
+  // Batch sizes 1..17 cover every remainder against the 4-lane (SSE2)
+  // and 8-lane (AVX2 double-pumped) BTRS groupings; parameters mix
+  // degenerate, BINV, BTRS, and reflection draws so the cohort
+  // partition is exercised at every size.
+  for (const Tier tier : tiers_up_to_supported()) {
+    TierGuard guard(tier);
+    for (std::size_t lanes = 1; lanes <= 17; ++lanes) {
+      std::vector<std::uint64_t> ns(lanes);
+      std::vector<double> ps(lanes);
+      for (std::size_t i = 0; i < lanes; ++i) {
+        ns[i] = (i % 6 == 0) ? 0 : 400 * (i + 1) * (i + 1);
+        ps[i] = (i % 5 == 0) ? 1.0 : 0.03 + 0.057 * static_cast<double>(i);
+      }
+      std::vector<rng::Rng> batch_rngs, scalar_rngs;
+      std::vector<rng::Rng*> ptrs;
+      batch_rngs.reserve(lanes);
+      scalar_rngs.reserve(lanes);
+      for (std::size_t i = 0; i < lanes; ++i) {
+        batch_rngs.emplace_back(rng::stream_seed(6000 + lanes, i));
+        scalar_rngs.emplace_back(rng::stream_seed(6000 + lanes, i));
+      }
+      for (auto& r : batch_rngs) ptrs.push_back(&r);
+      std::vector<std::uint64_t> out(lanes);
+      rng::binomial_batch(std::span<rng::Rng* const>(ptrs), ns, ps, out);
+      for (std::size_t i = 0; i < lanes; ++i) {
+        EXPECT_EQ(out[i], rng::binomial(scalar_rngs[i], ns[i], ps[i]))
+            << "tier " << rng::simd::to_string(tier) << " lanes " << lanes
+            << " lane " << i;
+        EXPECT_EQ(batch_rngs[i].next_u64(), scalar_rngs[i].next_u64())
+            << "tier " << rng::simd::to_string(tier) << " lanes " << lanes
+            << " lane " << i;
+      }
+    }
+  }
+}
+
+// ---- shared-stream batch (the shared lockstep schedule's sampler) ----
+
+TEST(BinomialSharedStream, DeterministicAndDegenerateDrawsAreFree) {
+  const std::vector<std::uint64_t> ns = {0,    2000, 800,  0,
+                                         5000, 300,  1000, 64};
+  const std::vector<double> ps = {0.4, 0.0, 0.2, 1.0, 0.45, 1.0, 0.015, 0.6};
+  std::vector<std::uint64_t> out_a(ns.size()), out_b(ns.size());
+  rng::PhiloxUniformStream stream_a(0xC0DE, 5);
+  rng::PhiloxUniformStream stream_b(0xC0DE, 5);
+  rng::binomial_batch(stream_a, ns, ps, out_a);
+  rng::binomial_batch(stream_b, ns, ps, out_b);
+  EXPECT_EQ(out_a, out_b);
+  // Degenerate lanes resolve without touching the stream.
+  EXPECT_EQ(out_a[0], 0u);
+  EXPECT_EQ(out_a[1], 0u);
+  EXPECT_EQ(out_a[3], 0u);
+  EXPECT_EQ(out_a[5], 300u);
+  // Both streams sit at the same position afterwards: the next uniform
+  // matches draw for draw.
+  EXPECT_EQ(stream_a.uniform01(), stream_b.uniform01());
+  // And the non-degenerate draws match a hand-rolled sequential pass
+  // over a fresh stream (index order is the contract).
+  rng::PhiloxUniformStream replay(0xC0DE, 5);
+  std::vector<std::uint64_t> replay_out(ns.size());
+  rng::binomial_batch(replay, ns, ps, replay_out);
+  EXPECT_EQ(replay_out, out_a);
+}
+
+TEST(BinomialSharedStream, IndependentOfActiveTier) {
+  // The shared-stream path is scalar by contract (draw order is the
+  // spec), so the active tier must not change a single draw.
+  const std::vector<std::uint64_t> ns(33, 12000);
+  std::vector<double> ps(33);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    ps[i] = 0.01 + 0.028 * static_cast<double>(i);
+  }
+  std::vector<std::uint64_t> reference(ns.size());
+  {
+    TierGuard guard(Tier::kScalar);
+    rng::PhiloxUniformStream stream(0xBEEF, 9);
+    rng::binomial_batch(stream, ns, ps, reference);
+  }
+  for (const Tier tier : tiers_up_to_supported()) {
+    TierGuard guard(tier);
+    rng::PhiloxUniformStream stream(0xBEEF, 9);
+    std::vector<std::uint64_t> out(ns.size());
+    rng::binomial_batch(stream, ns, ps, out);
+    EXPECT_EQ(out, reference) << "tier " << rng::simd::to_string(tier);
+  }
+}
+
+}  // namespace
+}  // namespace kusd

@@ -75,6 +75,9 @@ std::string graph_engine_names() {
       "           --budget B (per-trial native-time cap; 0 = engine default,\n"
       "             raise it for slow topologies like --graph cycle)\n"
       "           --threads W --chunk F --chunk-policy fixed|adaptive\n"
+      "           --lockstep-schedule per-trial|shared (batched-lockstep:\n"
+      "             shared = one chunk controller + uniform stream per\n"
+      "             cell; faster, deterministic, not stream-identical)\n"
       "           --point-parallel 0|1 --shuffle-points 0|1\n"
       "           --out FILE.csv --json FILE.jsonl\n"
       "  trace:   --out FILE.csv\n"
@@ -286,7 +289,7 @@ int cmd_sweep(const Args& args) {
     static const std::set<std::string> known = {
         "n",      "k",     "engine", "graph",   "bias", "beta", "alpha",
         "undecided", "ufrac", "budget", "trials", "seed", "threads",
-        "chunk", "chunk-policy", "start", "point-parallel",
+        "chunk", "chunk-policy", "lockstep-schedule", "start", "point-parallel",
         "shuffle-points", "out",    "json"};
     if (known.count(key) == 0) {
       std::fprintf(stderr, "unknown sweep option --%s\n", key.c_str());
@@ -424,6 +427,17 @@ int cmd_sweep(const Args& args) {
       usage();
     }
     spec.batch_policy = *policy;
+  }
+  {
+    const std::string schedule_name =
+        args.get_string("lockstep-schedule", "per-trial");
+    const auto schedule = core::parse_lockstep_schedule(schedule_name);
+    if (!schedule) {
+      std::fprintf(stderr, "unknown lockstep schedule '%s'\n",
+                   schedule_name.c_str());
+      usage();
+    }
+    spec.lockstep_schedule = *schedule;
   }
   spec.point_parallelism = args.get_bool("point-parallel", false);
   spec.shuffle_points = args.get_bool("shuffle-points", false);

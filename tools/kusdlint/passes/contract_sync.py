@@ -25,6 +25,9 @@ Codes:
                        engine name
   schema-drift         docs/sweep.md CSV schema block differs from
                        Sweep::csv_header()
+  flag-doc-drift       a sweep flag accepted by the CLI's known-flags
+                       set has no `--flag` row in docs/sweep.md, or a
+                       documented row names a flag cmd_sweep rejects
 """
 
 import re
@@ -50,18 +53,29 @@ CATALOG_FLAG_COLUMNS = {
     "lockstep": "supports_lockstep",
 }
 
+# cmd_sweep's accepted-flag set (the reject-unknown-keys literal) and the
+# `| `--flag` | ...` option rows of docs/sweep.md.
+KNOWN_FLAGS_SET = re.compile(
+    r"std\s*::\s*set\s*<\s*std\s*::\s*string\s*>\s*known\s*=\s*\{")
+FLAG_ROW = re.compile(r"^\s*\|\s*`--([\w-]+)`", re.MULTILINE)
 
-def paren_span(text: str, start: int) -> str:
-    """Text inside the balanced parens whose '(' is at text[start]."""
+
+def span(text: str, start: int, open_ch: str = "(",
+         close_ch: str = ")") -> str:
+    """Text inside the balanced pair whose opener is at text[start]."""
     depth = 0
     for idx in range(start, len(text)):
-        if text[idx] == "(":
+        if text[idx] == open_ch:
             depth += 1
-        elif text[idx] == ")":
+        elif text[idx] == close_ch:
             depth -= 1
             if depth == 0:
                 return text[start + 1:idx]
     return text[start + 1:]
+
+
+def paren_span(text: str, start: int) -> str:
+    return span(text, start)
 
 
 def parse_registrations(text: str) -> list[dict]:
@@ -168,6 +182,7 @@ class ContractSyncPass(base.Pass):
         findings += self.check_sweep_doc(ctx, by_name)
         findings += self.check_cli(ctx, by_name)
         findings += self.check_schema(ctx)
+        findings += self.check_sweep_flags(ctx)
         return findings
 
     def check_catalog(self, ctx, by_name):
@@ -250,6 +265,44 @@ class ContractSyncPass(base.Pass):
                     file=self.cli_file, line=0, code="cli-help-drift",
                     message=f"usage text never mentions graph-axis "
                             f"engine '{name}'"))
+        return findings
+
+    def check_sweep_flags(self, ctx):
+        """cmd_sweep's accepted flags vs the docs/sweep.md option rows.
+
+        The CLI rejects unknown keys against one set literal; every
+        member must have a `--flag` table row in docs/sweep.md and every
+        documented row must name an accepted flag, so a new flag (e.g.
+        --lockstep-schedule) cannot land without its documentation — and
+        a removed one cannot leave a ghost row behind.
+        """
+        source = cpplex.strip_comments(ctx.read(self.cli_file))
+        match = KNOWN_FLAGS_SET.search(source)
+        if not match:
+            raise base.UsageError(
+                f"contract-sync: no known-flags set literal "
+                f"(std::set<std::string> known = {{...}}) parsed from "
+                f"{self.cli_file}")
+        accepted = set(STRING.findall(span(source, match.end() - 1,
+                                           "{", "}")))
+        doc = ctx.read(self.sweep_doc)
+        documented = {}
+        for row in FLAG_ROW.finditer(doc):
+            documented.setdefault(row.group(1),
+                                  doc.count("\n", 0, row.start()) + 1)
+        findings = []
+        for flag in sorted(accepted - set(documented)):
+            findings.append(base.Finding(
+                file=self.sweep_doc, line=0, code="flag-doc-drift",
+                message=f"sweep flag '--{flag}' is accepted by "
+                        f"{self.cli_file} but has no option row in "
+                        f"{self.sweep_doc}"))
+        for flag in sorted(set(documented) - accepted):
+            findings.append(base.Finding(
+                file=self.sweep_doc, line=documented[flag],
+                code="flag-doc-drift",
+                message=f"option row documents '--{flag}' but cmd_sweep "
+                        f"does not accept it"))
         return findings
 
     def check_schema(self, ctx):

@@ -31,10 +31,13 @@ NAMESPACE_DECL = re.compile(
     r"\bnamespace\s+(?:kusd\s*::\s*)?(\w+)\s*(?:::\s*\w+\s*)*\{")
 
 # Macro prefix -> providing module (macros leave no `mod::` spelling at
-# the use site). Every KUSD_* macro today comes from util/check.hpp
-# (KUSD_CHECK, KUSD_CHECK_MSG, KUSD_DCHECK).
+# the use site). The check macros come from util/check.hpp (KUSD_CHECK,
+# KUSD_CHECK_MSG, KUSD_DCHECK); the prefixes are deliberately that
+# specific — build-system defines like KUSD_SIMD_ENABLED are not include
+# obligations.
 MACRO_MODULES = {
-    "KUSD_": "util",
+    "KUSD_CHECK": "util",
+    "KUSD_DCHECK": "util",
 }
 
 

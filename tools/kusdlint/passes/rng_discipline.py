@@ -21,6 +21,12 @@ Codes:
                      draws are perfectly correlated across iterations;
                      derive a per-iteration stream with stream_seed
                      instead
+  raw-intrinsics     x86 vector intrinsics (`_mm*_...`, `__m128/256/512`,
+                     `<*intrin.h>`) outside src/rng/ — SIMD lives behind
+                     the tier dispatch (rng/simd.hpp) so every tier stays
+                     bit-identical and the KUSD_SIMD=OFF build stays
+                     complete; hand-rolled intrinsics elsewhere would
+                     fork results by instruction set
 """
 
 import re
@@ -43,6 +49,9 @@ RAW_STREAM_SEED = re.compile(r"\bstream_seed\s*\(\s*" + INT_LITERAL +
 # this form sound to flag without type information.
 RNG_COPY = re.compile(r"\b(?:rng\s*::\s*)?Rng\s+\w+\s*=\s*\w+\s*;")
 LOOP_HEADER = re.compile(r"\b(for|while)\s*\(")
+RAW_INTRINSIC = re.compile(
+    r"\b_mm\d*_\w+\s*\(|\b__m(?:128|256|512)[id]?\b|"
+    r"#\s*include\s*<\w*intrin\.h>")
 
 
 def loop_depth_by_line(stripped: str) -> list[int]:
@@ -77,7 +86,8 @@ def loop_depth_by_line(stripped: str) -> list[int]:
 class RngDisciplinePass(base.Pass):
     name = "rng-discipline"
     description = ("randomness provenance outside src/rng/: stream_seed "
-                   "flow, no literal seeds, no Rng copies in loops")
+                   "flow, no literal seeds, no Rng copies in loops, no "
+                   "raw vector intrinsics")
 
     def __init__(self):
         self.checked = 0
@@ -112,6 +122,13 @@ class RngDisciplinePass(base.Pass):
                         message="stream_seed() with a literal master seed "
                                 "pins the stream — the master seed must "
                                 "come from the caller"))
+                if RAW_INTRINSIC.search(line):
+                    findings.append(base.Finding(
+                        file=rel, line=lineno, code="raw-intrinsics",
+                        message="raw vector intrinsics outside src/rng/ — "
+                                "vector code belongs behind the tier "
+                                "dispatch in rng/simd.hpp so results "
+                                "never depend on the instruction set"))
                 if RNG_COPY.search(line) and depths[idx] > 0:
                     findings.append(base.Finding(
                         file=rel, line=lineno, code="rng-copy-in-loop",

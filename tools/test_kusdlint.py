@@ -55,6 +55,7 @@ void register_builtin_engines(Registry& registry) {
 |--------|--------|---------|
 | `--engine` | registry names | `alpha`, `beta` |
 | `--graph` | specs | topology axis; only `beta` |
+| `--trials` | 25 | Monte-Carlo trials per point |
 
 CSV header = JSONL keys:
 
@@ -73,6 +74,8 @@ std::vector<std::string> Sweep::csv_header() {
     "tools/kusd_cli.cpp": """\
 static const char kUsage[] =
     "kusd sweep --engine alpha,beta --graph SPEC (beta only)\\n";
+static const std::set<std::string> known = {
+    "engine", "graph", "trials"};
 """,
 }
 
@@ -257,6 +260,33 @@ class RngDisciplineTest(FixtureTest):
         result = run_lint(self.root, "--pass", "rng-discipline")
         self.assertEqual(result.returncode, 0, result.stderr)
 
+    def test_raw_intrinsics_outside_rng_are_flagged(self):
+        for line in ("#include <immintrin.h>",
+                     "#include <emmintrin.h>",
+                     "__m256i x = _mm256_set1_epi64x(1);",
+                     "__m128d d = _mm_set1_pd(0.5);"):
+            with self.subTest(line=line):
+                self.write("src/core/a.cpp", line + "\n")
+                result = run_lint(self.root, "--pass", "rng-discipline")
+                self.assertEqual(result.returncode, 1, line)
+                self.assertIn("[raw-intrinsics]", result.stderr)
+
+    def test_raw_intrinsics_inside_src_rng_are_exempt(self):
+        self.write("src/rng/uniform_block_avx2.cpp",
+                   "#include <immintrin.h>\n"
+                   "__m256i x = _mm256_set1_epi64x(1);\n")
+        result = run_lint(self.root, "--pass", "rng-discipline")
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_tier_dispatch_api_use_passes(self):
+        # Consuming the dispatched API (rng/simd.hpp names, no
+        # intrinsics) is exactly what the pass wants to see.
+        self.write("src/core/a.cpp",
+                   '#include "rng/simd.hpp"\n'
+                   "auto t = rng::simd::active_tier();\n")
+        result = run_lint(self.root, "--pass", "rng-discipline")
+        self.assertEqual(result.returncode, 0, result.stderr)
+
 
 class ContractSyncTest(FixtureTest):
     def test_consistent_fixture_passes(self):
@@ -369,7 +399,9 @@ class ContractSyncTest(FixtureTest):
         self.write_contract_fixture(**{
             "tools/kusd_cli.cpp":
                 'static const char kUsage[] = "kusd sweep --engine '
-                'alpha --graph SPEC\\n";\n'})
+                'alpha --graph SPEC\\n";\n'
+                'static const std::set<std::string> known = {\n'
+                '    "engine", "graph", "trials"};\n'})
         result = run_lint(self.root, "--pass", "contract-sync")
         self.assertEqual(result.returncode, 1)
         self.assertIn("[cli-help-drift]", result.stderr)
@@ -379,6 +411,39 @@ class ContractSyncTest(FixtureTest):
         (self.root / "docs/sweep.md").unlink()
         result = run_lint(self.root, "--pass", "contract-sync")
         self.assertEqual(result.returncode, 2)
+
+    def test_accepted_flag_without_doc_row_fails(self):
+        # The acceptance case for the flag contract: teaching cmd_sweep a
+        # new flag without its docs/sweep.md row must fail the lint.
+        self.write_contract_fixture(**{
+            "tools/kusd_cli.cpp": CONTRACT_FIXTURE[
+                "tools/kusd_cli.cpp"].replace(
+                '"engine", "graph", "trials"',
+                '"engine", "graph", "trials", "lockstep-schedule"')})
+        result = run_lint(self.root, "--pass", "contract-sync")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("[flag-doc-drift]", result.stderr)
+        self.assertIn("lockstep-schedule", result.stderr)
+
+    def test_ghost_flag_row_fails(self):
+        self.write_contract_fixture(**{
+            "docs/sweep.md": CONTRACT_FIXTURE["docs/sweep.md"].replace(
+                "| `--trials` | 25 | Monte-Carlo trials per point |",
+                "| `--trials` | 25 | Monte-Carlo trials per point |\n"
+                "| `--retired` | — | no longer accepted |")})
+        result = run_lint(self.root, "--pass", "contract-sync")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("[flag-doc-drift]", result.stderr)
+        self.assertIn("retired", result.stderr)
+
+    def test_missing_known_flags_set_is_a_usage_error(self):
+        self.write_contract_fixture(**{
+            "tools/kusd_cli.cpp":
+                'static const char kUsage[] = "kusd sweep --engine '
+                'alpha,beta --graph SPEC (beta only)\\n";\n'})
+        result = run_lint(self.root, "--pass", "contract-sync")
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("known-flags", result.stderr)
 
 
 if __name__ == "__main__":
