@@ -1,20 +1,22 @@
-// E15 — sweep scheduler scaling: point-parallel execution of
+// E15 — sweep scheduler scaling: work-stealing execution of
 // many-small-point grids.
 //
-// runner::Sweep has two ways to use a worker pool: stripe the trials of
-// one point at a time (trial-parallel, the default) or stripe whole grid
-// points (point_parallelism). For grids of many tiny points the
-// per-point fan-out/join of trial-parallelism is pure overhead, and
-// point-parallel mode should scale near-linearly with the worker count
-// until the hardware runs out.
+// runner::Sweep schedules every grid as one work-stealing task graph of
+// (point, trial-stripe) units. For grids of many tiny points the stripe
+// width sets the stealing grain: wide stripes collapse each point to one
+// unit (whole-point stealing, minimal overhead), narrow stripes cut each
+// point into many units (fine-grained balancing). Either way the grid
+// should scale near-linearly with the worker count until the hardware
+// runs out, and the streamed rows must stay byte-identical to the
+// single-thread run — stripe width and shuffle are pure scheduling.
 //
 // This bench runs one such grid — engine x k x bias, small n, a few
-// trials per point — sequentially and point-parallel at increasing
-// thread counts, verifies the streamed rows are byte-identical in every
-// mode (the determinism contract), and writes the wall-clock trajectory
-// to BENCH_sweep.json. Scaling is only observable with real cores:
-// hardware_concurrency is recorded so a 1-core CI smoke run reporting
-// speedup ~1 is interpretable.
+// trials per point — single-threaded and then work-stealing at
+// increasing thread counts (shuffled at the widest count), verifies the
+// byte-identity contract every time, and writes the wall-clock
+// trajectory to BENCH_sweep.json. Scaling is only observable with real
+// cores: hardware_concurrency is recorded so a 1-core CI smoke run
+// reporting speedup ~1 is interpretable.
 #include <algorithm>
 #include <cstdint>
 #include <string>
@@ -62,10 +64,10 @@ std::string run_rendered(const runner::SweepSpec& spec, double* seconds) {
 }  // namespace
 
 int main() {
-  bench::banner("E15", "point-parallel sweep scaling",
-                "Grids of many tiny points: point-parallel execution vs "
-                "sequential points, byte-identical output, wall-clock per "
-                "thread count.");
+  bench::banner("E15", "work-stealing sweep scaling",
+                "Grids of many tiny points: the (point, trial-stripe) task "
+                "graph vs a single thread, byte-identical output, wall-clock "
+                "per thread count.");
 
   auto spec = grid_spec();
   const std::size_t hardware = std::thread::hardware_concurrency();
@@ -93,7 +95,6 @@ int main() {
   if (hardware > 4) thread_counts.push_back(hardware);
   for (const std::size_t threads : thread_counts) {
     spec.threads = threads;
-    spec.point_parallelism = true;
     spec.shuffle_points = threads == thread_counts.back();
     double seconds = 0.0;
     const std::string rendered = run_rendered(spec, &seconds);
@@ -101,11 +102,11 @@ int main() {
     all_identical = all_identical && identical;
     const double speedup = sequential_s / std::max(seconds, 1e-9);
     best_speedup = std::max(best_speedup, speedup);
-    table.add_row({spec.shuffle_points ? "point-parallel+shuffle"
-                                       : "point-parallel",
+    table.add_row({spec.shuffle_points ? "work-stealing+shuffle"
+                                       : "work-stealing",
                    std::to_string(threads), runner::fmt(seconds, 3),
                    runner::fmt(speedup, 2), identical ? "yes" : "NO"});
-    json.add("point_parallel_seconds_t" + std::to_string(threads), seconds);
+    json.add("task_graph_seconds_t" + std::to_string(threads), seconds);
     json.add("speedup_t" + std::to_string(threads), speedup);
   }
   table.print();
@@ -113,7 +114,7 @@ int main() {
   json.add("best_speedup", best_speedup);
   json.add_bool("output_byte_identical", all_identical);
   const bool json_ok = json.write("BENCH_sweep.json");
-  std::printf("\noutput byte-identical across modes: %s\n",
+  std::printf("\noutput byte-identical across schedules: %s\n",
               all_identical ? "yes" : "NO");
   std::printf("wrote BENCH_sweep.json\n");
   // Byte-identity is a correctness contract, not a perf number: fail the

@@ -1,9 +1,12 @@
 #include "runner/sweep.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <cmath>
 #include <cstdlib>
+#include <memory>
 #include <mutex>
+#include <span>
 #include <sstream>
 #include <utility>
 
@@ -11,7 +14,7 @@
 #include "pp/degree_classes.hpp"
 #include "rng/rng.hpp"
 #include "runner/table.hpp"
-#include "runner/trials.hpp"
+#include "runner/task_graph.hpp"
 #include "sim/registry.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
@@ -192,87 +195,54 @@ SweepCell aggregate_cell(const SweepSpec& spec, const SweepPoint& point,
   return cell;
 }
 
-/// A cell's whole trial batch through the engine's lockstep kernel
-/// (EngineInfo::lockstep): the exact seeds run_trials would derive, one
-/// kernel invocation, outcomes in trial order. Because the kernel is
-/// per-stream bit-identical to the single-trial engine, this path is the
-/// same in every execution mode and at every thread count by
-/// construction.
-std::vector<TrialOutcome> run_lockstep_batch(const SweepSpec& spec,
-                                             const SweepPoint& point,
-                                             const pp::Configuration& x0,
-                                             const PointTopology& topology,
-                                             std::uint64_t point_seed,
-                                             const sim::EngineInfo& info) {
-  std::vector<std::uint64_t> seeds(static_cast<std::size_t>(spec.trials));
-  for (std::size_t t = 0; t < seeds.size(); ++t) {
-    seeds[t] = rng::stream_seed(point_seed, static_cast<std::uint64_t>(t));
+/// One stripe of a cell's trial batch through the engine's lockstep
+/// kernel (EngineInfo::lockstep): trials [begin, end) with exactly the
+/// per-trial seeds the scalar path would derive, outcomes written into
+/// the stripe's slots. Because the kernel is per-stream bit-identical to
+/// the single-trial engine, the stripe decomposition is invisible in the
+/// output — the same cell bytes at every stripe width and thread count.
+/// (Under LockstepSchedule::kShared the caller passes the whole cell as
+/// one stripe: a shared controller is a joint function of its cohort, so
+/// splitting it would change results.)
+void run_lockstep_stripe(const SweepSpec& spec, const SweepPoint& point,
+                         const pp::Configuration& x0,
+                         const PointTopology& topology,
+                         std::uint64_t point_seed, const sim::EngineInfo& info,
+                         std::size_t begin, std::size_t end,
+                         std::span<TrialOutcome> outcomes) {
+  std::vector<std::uint64_t> seeds(end - begin);
+  for (std::size_t t = begin; t < end; ++t) {
+    seeds[t - begin] = rng::stream_seed(point_seed, t);
   }
   const auto results =
       info.lockstep(x0, seeds, engine_options(spec, point, topology),
                     trial_budget(spec, point));
   const int plurality = x0.argmax();
-  std::vector<TrialOutcome> outcomes(results.size());
-  for (std::size_t t = 0; t < results.size(); ++t) {
-    outcomes[t].parallel_time = results[t].parallel_time;
-    outcomes[t].converged = results[t].converged;
-    outcomes[t].plurality_won =
-        results[t].converged && results[t].winner == plurality;
+  for (std::size_t j = 0; j < results.size(); ++j) {
+    TrialOutcome& out = outcomes[begin + j];
+    out.parallel_time = results[j].parallel_time;
+    out.converged = results[j].converged;
+    out.plurality_won = results[j].converged && results[j].winner == plurality;
   }
-  return outcomes;
 }
 
-/// Shared core of both execution modes — one code path so CSV/JSONL stay
-/// byte-identical across modes: realize the point's topology, short-
-/// circuit a disconnected one as an all-timeout batch, route lockstep-
-/// capable engines through one whole-batch kernel call, and otherwise
-/// hand the trial batch to `run_batch` (striped over a pool, or inline in
-/// a point-parallel task).
-SweepCell run_point_cell(
-    const SweepSpec& spec, const SweepPoint& point,
-    const std::function<std::vector<TrialOutcome>(
-        std::uint64_t point_seed,
-        const std::function<TrialOutcome(std::uint64_t)>&)>& run_batch) {
-  const auto x0 = build_config(spec, point);
-  util::Stopwatch watch;
-  const std::uint64_t point_seed =
-      rng::stream_seed(spec.master_seed, point.index);
-  const auto topology = realize_topology(point, point_seed);
+/// Per-point execution state, initialized by whichever worker claims the
+/// point's first stripe (std::call_once) and read-only to every later
+/// stripe; the outcome slots are written stripe-disjointly.
+struct PointState {
+  std::once_flag once;
+  std::optional<pp::Configuration> x0;
+  PointTopology topology;
+  std::uint64_t point_seed = 0;
+  const sim::EngineInfo* info = nullptr;
+  /// Route stripes through the engine's batch kernel.
+  bool lockstep = false;
+  /// Disconnected under the default budget: outcomes pre-filled with
+  /// timeouts at init, stripes no-op.
+  bool short_circuit = false;
   std::vector<TrialOutcome> outcomes;
-  bool timed_out = false;
-  if (topology.connected.has_value() && !*topology.connected &&
-      spec.max_time == 0 && !starts_at_consensus(x0)) {
-    // Disconnected topology under the *default* budget: global consensus
-    // needs every component (including each isolated vertex) to align by
-    // coincidence, so most trials would grind through the enormous
-    // default cap — the de-facto hang this guard exists for. Record the
-    // trials as timeouts at that cap instead of simulating. An explicit
-    // --budget bounds the cost the user signed up for, so those sweeps
-    // run honestly below and *measure* the coincidental-consensus rate
-    // rather than hardcoding it to zero.
-    TrialOutcome out;
-    out.parallel_time = static_cast<double>(trial_budget(spec, point)) /
-                        static_cast<double>(point.n);
-    outcomes.assign(static_cast<std::size_t>(spec.trials), out);
-    timed_out = true;
-  } else {
-    const sim::EngineInfo* info =
-        sim::Registry::instance().find(point.engine);
-    if (info != nullptr && info->supports_lockstep && info->lockstep) {
-      outcomes =
-          run_lockstep_batch(spec, point, x0, topology, point_seed, *info);
-    } else {
-      outcomes = run_batch(point_seed, [&](std::uint64_t seed) {
-        return run_one(spec, point, x0, topology, seed);
-      });
-    }
-  }
-  auto cell = aggregate_cell(spec, point, outcomes, watch.seconds());
-  cell.graph_edges = topology.edges;
-  cell.connected = topology.connected;
-  if (timed_out) cell.status = "timeout";
-  return cell;
-}
+  util::Stopwatch watch;
+};
 
 }  // namespace
 
@@ -285,8 +255,8 @@ Sweep::Sweep(SweepSpec spec) : spec_(std::move(spec)) {
   KUSD_CHECK_MSG(
       spec_.undecided_fraction >= 0.0 && spec_.undecided_fraction < 1.0,
       "sweep: undecided fraction must be in [0, 1)");
-  KUSD_CHECK_MSG(!spec_.shuffle_points || spec_.point_parallelism,
-                 "sweep: shuffle_points requires point_parallelism");
+  KUSD_CHECK_MSG(spec_.stripe_width >= 1,
+                 "sweep: stripe_width must be at least 1");
   // Engine constraints come from registry metadata, so the sweep needs no
   // per-engine knowledge. Fail the whole sweep upfront rather than
   // aborting mid-grid after other points already streamed.
@@ -419,75 +389,163 @@ SweepCell Sweep::run_point(const SweepPoint& point) const {
 
 SweepCell Sweep::run_point(util::ThreadPool& pool,
                            const SweepPoint& point) const {
-  return run_point_cell(
-      spec_, point,
-      [this, &pool](std::uint64_t point_seed,
-                    const std::function<TrialOutcome(std::uint64_t)>& trial) {
-        return run_trials<TrialOutcome>(pool, spec_.trials, point_seed, trial);
-      });
+  // The single-point form goes through the same task-graph path as whole
+  // grids — one code path is what keeps cell bytes identical everywhere.
+  std::optional<SweepCell> cell;
+  run_points_on(pool, {point},
+                [&cell](const SweepCell& c) { cell = c; });
+  return *std::move(cell);
 }
 
 void Sweep::run(const std::function<void(const SweepCell&)>& on_cell) const {
   // One pool for the whole grid: workers are not respawned per point.
   util::ThreadPool pool(spec_.threads);
-  if (!spec_.point_parallelism) {
-    for (const auto& point : grid()) on_cell(run_point(pool, point));
-    return;
+  run_points_on(pool, grid(), on_cell);
+}
+
+void Sweep::run_selected(
+    const std::vector<std::size_t>& indices,
+    const std::function<void(const SweepCell&)>& on_cell) const {
+  const auto all = grid();
+  std::vector<SweepPoint> points;
+  points.reserve(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    KUSD_CHECK_MSG(indices[i] < all.size(),
+                   "sweep: selected grid index out of range");
+    KUSD_CHECK_MSG(i == 0 || indices[i] > indices[i - 1],
+                   "sweep: selected grid indices must be strictly increasing");
+    points.push_back(all[indices[i]]);
+  }
+  util::ThreadPool pool(spec_.threads);
+  run_points_on(pool, points, on_cell);
+}
+
+void Sweep::run_points_on(
+    util::ThreadPool& pool, const std::vector<SweepPoint>& points,
+    const std::function<void(const SweepCell&)>& on_cell) const {
+  if (points.empty()) return;
+  const auto& registry = sim::Registry::instance();
+  const auto trials = static_cast<std::size_t>(spec_.trials);
+  const std::size_t width = spec_.stripe_width;
+  const auto stripes_per_point = static_cast<std::uint32_t>(
+      trials == 0 ? 1 : (trials + width - 1) / width);
+
+  // Stripe counts are a pure function of the spec — never of realized
+  // topology or results — so the unit list is deterministic. A point
+  // whose lockstep schedule shares one controller across the cohort
+  // (LockstepSchedule::kShared) collapses to a single whole-cell unit.
+  std::vector<std::uint32_t> stripes(points.size(), stripes_per_point);
+  std::vector<char> whole_cell(points.size(), 0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const sim::EngineInfo* info = registry.find(points[i].engine);
+    const bool lockstep = info != nullptr && info->supports_lockstep &&
+                          static_cast<bool>(info->lockstep);
+    if (lockstep &&
+        spec_.lockstep_schedule == core::LockstepSchedule::kShared) {
+      stripes[i] = 1;
+      whole_cell[i] = 1;
+    }
   }
 
-  // Point-parallel mode: one pool task per grid point, trials run inline
-  // with the exact per-trial seeds run_trials would derive. Completed
-  // cells are buffered and the contiguous done prefix is emitted under
-  // the mutex (so the callback never runs concurrently with itself):
-  // output order and content match the sequential path byte for byte.
-  const auto points = grid();
-  std::vector<std::size_t> order(points.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<std::size_t> order;
   if (spec_.shuffle_points) {
     // The execution order is itself a seeded derivation (the all-ones
     // stream id cannot collide with a grid index), so shuffled sweeps are
-    // as reproducible as ordered ones.
+    // as reproducible as ordered ones — and output order is unaffected:
+    // emission below is by list position, not completion order.
+    order.resize(points.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
     rng::Rng shuffle_rng(
         rng::stream_seed(spec_.master_seed, ~std::uint64_t{0}));
     shuffle_rng.shuffle(std::span<std::size_t>(order));
   }
 
+  const TaskGraph graph(std::move(stripes), std::move(order));
+  const auto states = std::make_unique<PointState[]>(points.size());
+
+  const auto init_point = [&](const SweepPoint& point, PointState& st) {
+    st.watch.reset();
+    st.point_seed = rng::stream_seed(spec_.master_seed, point.index);
+    st.topology = realize_topology(point, st.point_seed);
+    st.x0 = build_config(spec_, point);
+    st.info = registry.find(point.engine);
+    st.outcomes.resize(trials);
+    if (st.topology.connected.has_value() && !*st.topology.connected &&
+        spec_.max_time == 0 && !starts_at_consensus(*st.x0)) {
+      // Disconnected topology under the *default* budget: global
+      // consensus needs every component (including each isolated vertex)
+      // to align by coincidence, so most trials would grind through the
+      // enormous default cap — the de-facto hang this guard exists for.
+      // Record the trials as timeouts at that cap instead of simulating.
+      // An explicit --budget bounds the cost the user signed up for, so
+      // those sweeps run honestly and *measure* the coincidental-
+      // consensus rate rather than hardcoding it to zero.
+      TrialOutcome out;
+      out.parallel_time = static_cast<double>(trial_budget(spec_, point)) /
+                          static_cast<double>(point.n);
+      std::fill(st.outcomes.begin(), st.outcomes.end(), out);
+      st.short_circuit = true;
+      return;
+    }
+    st.lockstep = st.info != nullptr && st.info->supports_lockstep &&
+                  static_cast<bool>(st.info->lockstep);
+  };
+
+  const auto run_stripe = [&](const TaskUnit& unit) {
+    const SweepPoint& point = points[unit.item];
+    PointState& st = states[unit.item];
+    std::call_once(st.once, [&] { init_point(point, st); });
+    if (st.short_circuit || trials == 0) return;
+    const std::size_t begin =
+        whole_cell[unit.item] ? 0 : unit.stripe * width;
+    const std::size_t end =
+        whole_cell[unit.item] ? trials : std::min(begin + width, trials);
+    if (st.lockstep) {
+      run_lockstep_stripe(spec_, point, *st.x0, st.topology, st.point_seed,
+                          *st.info, begin, end,
+                          std::span<TrialOutcome>(st.outcomes));
+    } else {
+      for (std::size_t t = begin; t < end; ++t) {
+        st.outcomes[t] = run_one(spec_, point, *st.x0, st.topology,
+                                 rng::stream_seed(st.point_seed, t));
+      }
+    }
+  };
+
+  // Completed cells are buffered and the contiguous done prefix is
+  // emitted under the mutex (so the callback never runs concurrently
+  // with itself): output order and content are those of a sequential
+  // run, byte for byte, at any thread count and stripe width.
   std::mutex mu;
   std::vector<std::optional<SweepCell>> done(points.size());
   std::size_t next_emit = 0;
-  for (const std::size_t point_index : order) {
-    pool.submit([this, &points, &mu, &done, &next_emit, &on_cell,
-                 point_index] {
-      const SweepPoint& point = points[point_index];
-      // Trials run inline with the exact per-trial seeds run_trials would
-      // derive, through the same shared cell path as the sequential mode.
-      auto cell = run_point_cell(
-          spec_, point,
-          [this](std::uint64_t point_seed,
-                 const std::function<TrialOutcome(std::uint64_t)>& trial) {
-            std::vector<TrialOutcome> outcomes(
-                static_cast<std::size_t>(spec_.trials));
-            for (int t = 0; t < spec_.trials; ++t) {
-              outcomes[static_cast<std::size_t>(t)] = trial(rng::stream_seed(
-                  point_seed, static_cast<std::uint64_t>(t)));
-            }
-            return outcomes;
-          });
+  const auto on_point_done = [&](std::size_t item) {
+    PointState& st = states[item];
+    auto cell =
+        aggregate_cell(spec_, points[item], st.outcomes, st.watch.seconds());
+    cell.graph_edges = st.topology.edges;
+    cell.connected = st.topology.connected;
+    if (st.short_circuit) cell.status = "timeout";
+    // Drop the point's working set before buffering the cell: on wide
+    // grids the emission buffer would otherwise pin every outcome vector
+    // until its cell reaches the front of the done prefix.
+    st.outcomes = std::vector<TrialOutcome>();
+    st.x0.reset();
 
-      const std::lock_guard<std::mutex> lock(mu);
-      done[point_index] = std::move(cell);
-      while (next_emit < done.size() && done[next_emit].has_value()) {
-        // Consume the slot before invoking the callback: if on_cell
-        // throws (the exception resurfaces from wait_idle), later tasks
-        // must not re-emit the same cell.
-        const SweepCell next = *std::move(done[next_emit]);
-        done[next_emit].reset();
-        ++next_emit;
-        on_cell(next);
-      }
-    });
-  }
-  pool.wait_idle();
+    const std::lock_guard<std::mutex> lock(mu);
+    done[item] = std::move(cell);
+    while (next_emit < done.size() && done[next_emit].has_value()) {
+      // Consume the slot before invoking the callback: if on_cell throws
+      // (the exception resurfaces from TaskGraph::run), later items must
+      // not re-emit the same cell.
+      const SweepCell next = *std::move(done[next_emit]);
+      done[next_emit].reset();
+      ++next_emit;
+      on_cell(next);
+    }
+  };
+
+  graph.run(pool, run_stripe, on_point_done);
 }
 
 std::vector<std::string> Sweep::csv_header() {
@@ -534,8 +592,13 @@ std::vector<std::string> Sweep::csv_row(const SweepCell& cell) {
 }
 
 std::string Sweep::json_line(const SweepCell& cell) {
+  return json_line(csv_row(cell));
+}
+
+std::string Sweep::json_line(const std::vector<std::string>& row) {
   const auto header = csv_header();
-  const auto row = csv_row(cell);
+  KUSD_CHECK_MSG(row.size() == header.size(),
+                 "sweep: json_line row width does not match the schema");
   std::ostringstream os;
   os << '{';
   for (std::size_t i = 0; i < header.size(); ++i) {

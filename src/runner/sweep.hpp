@@ -30,25 +30,36 @@
 // (status stays "ok"; read it against connected = 0). Points already at
 // consensus at t = 0 are exempt from the short-circuit.
 //
-// Two execution modes share one deterministic seed derivation
-// (master_seed, point index, trial index):
+// Execution is one work-stealing task graph over (point, trial-stripe)
+// units (runner::TaskGraph): each unit owns a fixed contiguous stripe of
+// one grid point's trials, and pool workers pull units from a shared
+// cursor, so a worker that drew a cheap point immediately steals stripes
+// of an expensive one — mixed grids of small and large points keep the
+// pool full without a mode switch. Seeds derive from (master_seed, point
+// index, trial index) — never from the stripe — so the decomposition is
+// pure scheduling: CSV/JSONL output is byte-identical at any thread
+// count and stripe width. Two refinements:
 //
-//  * trial-parallel (default) — points run sequentially in grid order,
-//    the trials within a point striped over the worker pool. Right for
-//    grids of few expensive points.
-//  * point-parallel (SweepSpec::point_parallelism) — grid points
-//    themselves are striped over the pool, each point's trials running
-//    inline. Right for grids of many small points, where per-point
-//    striping cannot keep the pool busy. Completed cells are buffered and
-//    emitted in grid order, so output (CSV/JSONL) is byte-identical to a
-//    sequential run at any thread count; shuffle_points additionally
-//    randomizes the *execution* order (deterministically from
-//    master_seed) for early coverage of the grid, without affecting
-//    output order or content.
+//  * lockstep-capable engines (EngineInfo::supports_lockstep) route each
+//    whole stripe through the batch kernel with exactly the per-trial
+//    seeds the scalar path would use (the kernel is per-stream
+//    bit-identical, so stripes are invisible in the output);
+//  * under LockstepSchedule::kShared one controller drives the whole
+//    cell's batch, so the point collapses to a single whole-cell unit —
+//    splitting a shared-schedule cohort would change its results.
 //
-// Results stream either way: the per-point aggregate is handed to a
-// callback as soon as it is next in grid order, so output appears
-// incrementally during long sweeps instead of after them.
+// shuffle_points randomizes the *execution* order of points
+// (deterministically from master_seed) for early coverage of the grid;
+// completed cells are buffered and emitted in grid order regardless, so
+// output order and content never depend on scheduling. The per-point
+// aggregate is handed to the callback as soon as it is next in grid
+// order, so output appears incrementally during long sweeps.
+//
+// run_selected() runs an arbitrary increasing subset of grid indices —
+// the substrate of the sweep service's `--shard i/N` partitioning and
+// `--resume` journal replay (runner/sweep_service.hpp), which both rest
+// on the same invariant: a cell's bytes are a pure function of
+// (spec, master_seed, grid index).
 //
 // The comparable metric across engines is *parallel time*
 // (sim::Engine::parallel_time): interactions/n for the asynchronous
@@ -128,11 +139,13 @@ struct SweepSpec {
   /// controllers (bit-identical to the scalar engine) or one shared
   /// controller + uniform stream per cell (throughput mode, KS-gated).
   core::LockstepSchedule lockstep_schedule = core::LockstepSchedule::kPerTrial;
-  /// Stripe grid points (instead of trials within a point) over the pool;
-  /// see the file comment. Output is identical either way.
-  bool point_parallelism = false;
+  /// Trials per (point, stripe) work unit — the work-stealing grain (see
+  /// the file comment). Pure scheduling: output is byte-identical at any
+  /// width. Small widths balance mixed grids better; width >= trials
+  /// degenerates to one unit per point. Must be >= 1.
+  std::size_t stripe_width = 8;
   /// Execute points in a deterministically shuffled order (early grid
-  /// coverage). Requires point_parallelism; output order is unaffected.
+  /// coverage). Output order and content are unaffected.
   bool shuffle_points = false;
 };
 
@@ -189,16 +202,34 @@ class Sweep {
                                     const SweepPoint& point) const;
 
   /// Run the whole grid, streaming each cell in grid order (cells are
-  /// buffered as needed under point_parallelism; see the file comment).
-  /// The callback is never invoked concurrently with itself.
+  /// buffered as needed; see the file comment). The callback is never
+  /// invoked concurrently with itself.
   void run(const std::function<void(const SweepCell&)>& on_cell) const;
+
+  /// Run a subset of the grid — `indices` must be strictly increasing
+  /// grid indices — streaming cells in that order. Each cell's bytes
+  /// match what run() would emit for the same index: the substrate of
+  /// sharding and resume.
+  void run_selected(const std::vector<std::size_t>& indices,
+                    const std::function<void(const SweepCell&)>& on_cell) const;
 
   /// Output schema shared by the CSV and JSONL emitters.
   [[nodiscard]] static std::vector<std::string> csv_header();
   [[nodiscard]] static std::vector<std::string> csv_row(const SweepCell& cell);
   [[nodiscard]] static std::string json_line(const SweepCell& cell);
+  /// JSONL from an already-formatted csv_row (the journal replay path:
+  /// resumed cells re-emit from recorded fields, not recomputation).
+  [[nodiscard]] static std::string json_line(
+      const std::vector<std::string>& row);
 
  private:
+  /// Shared execution core: the task graph over (point, stripe) units,
+  /// with in-order emission. Every public run path funnels through here.
+  void run_points_on(util::ThreadPool& pool,
+                     const std::vector<SweepPoint>& points,
+                     const std::function<void(const SweepCell&)>& on_cell)
+      const;
+
   SweepSpec spec_;
 };
 

@@ -1,0 +1,81 @@
+#include "runner/task_graph.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace kusd::runner {
+
+TaskGraph::TaskGraph(std::vector<std::uint32_t> stripes_per_item,
+                     std::vector<std::size_t> order)
+    : stripes_(std::move(stripes_per_item)) {
+  KUSD_CHECK_MSG(order.empty() || order.size() == stripes_.size(),
+                 "task graph: order must permute the item list");
+  for (auto& stripes : stripes_) stripes = std::max<std::uint32_t>(1, stripes);
+  std::size_t total = 0;
+  for (const auto stripes : stripes_) total += stripes;
+  units_.reserve(total);
+  if (order.empty()) {
+    order.resize(stripes_.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  }
+  std::vector<bool> seen(stripes_.size(), false);
+  for (const std::size_t item : order) {
+    KUSD_CHECK_MSG(item < stripes_.size() && !seen[item],
+                   "task graph: order must permute the item list");
+    seen[item] = true;
+    for (std::uint32_t s = 0; s < stripes_[item]; ++s) {
+      units_.push_back(TaskUnit{item, s});
+    }
+  }
+}
+
+void TaskGraph::run(
+    util::ThreadPool& pool,
+    const std::function<void(const TaskUnit&)>& run_stripe,
+    const std::function<void(std::size_t item)>& on_item_done) const {
+  if (units_.empty()) return;
+  // Shared scheduler state, alive until wait_idle() below confirms every
+  // claiming loop has exited (the pool finishes all tasks before
+  // rethrowing a captured exception, so stack lifetime is safe).
+  const auto remaining =
+      std::make_unique<std::atomic<std::uint32_t>[]>(stripes_.size());
+  for (std::size_t i = 0; i < stripes_.size(); ++i) {
+    remaining[i].store(stripes_[i], std::memory_order_relaxed);
+  }
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> failed{false};
+
+  const auto claim_loop = [this, &remaining, &cursor, &failed, &run_stripe,
+                           &on_item_done] {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t next = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (next >= units_.size()) return;
+      const TaskUnit& unit = units_[next];
+      try {
+        run_stripe(unit);
+        // acq_rel: the finisher of an item's last stripe must observe
+        // every other stripe's writes (the sweep's per-trial outcome
+        // slots) before aggregating them in on_item_done.
+        if (remaining[unit.item].fetch_sub(
+                1, std::memory_order_acq_rel) == 1) {
+          on_item_done(unit.item);
+        }
+      } catch (...) {
+        // Poison the batch before the pool captures the exception so no
+        // worker claims further units; in-flight units finish on their
+        // own workers.
+        failed.store(true, std::memory_order_relaxed);
+        throw;
+      }
+    }
+  };
+  const std::size_t loops = std::min(pool.num_threads(), units_.size());
+  for (std::size_t i = 0; i < loops; ++i) pool.submit(claim_loop);
+  pool.wait_idle();
+}
+
+}  // namespace kusd::runner

@@ -4,6 +4,13 @@
 // (master_seed, trial_index), so experiment output is reproducible
 // regardless of thread scheduling or thread count: results are collected
 // by index.
+//
+// The batch runs as a one-item TaskGraph whose stripes are *contiguous*
+// trial ranges pulled by workers from a shared cursor — the same stripe
+// decomposition runner::Sweep uses for its (point, stripe) units, so a
+// stripe [begin, end) maps 1:1 onto a lockstep batch-kernel cohort with
+// the same seeds. Striping is pure scheduling: seeds depend only on the
+// trial index, never the stripe.
 #pragma once
 
 #include <algorithm>
@@ -13,6 +20,7 @@
 #include <vector>
 
 #include "rng/rng.hpp"
+#include "runner/task_graph.hpp"
 #include "stats/summary.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
@@ -21,12 +29,12 @@ namespace kusd::runner {
 
 /// Run `trials` independent invocations of fn(seed) on an existing (idle)
 /// pool and return the results of type T in trial order. Rejects negative
-/// `trials`. Trials are striped over a bounded number of pool tasks, each
+/// `trials`. Trials are striped over a bounded number of work units, each
 /// holding `fn` by reference, so the callable is never type-erased or
 /// copied — a lambda with a fat capture list costs the same as a function
 /// pointer, and the per-trial call inlines. If a trial throws, the first
-/// exception propagates out (remaining trials in other stripes still run;
-/// the result vector is abandoned).
+/// exception propagates out (workers stop claiming new stripes; the
+/// result vector is abandoned).
 template <typename T, typename Fn>
 std::vector<T> run_trials(util::ThreadPool& pool, int trials,
                           std::uint64_t master_seed, Fn&& fn) {
@@ -35,17 +43,21 @@ std::vector<T> run_trials(util::ThreadPool& pool, int trials,
   if (trials == 0) return results;
   // A few stripes per worker keeps load balanced when trial costs vary
   // without paying one queue entry per trial.
-  const int stripes = static_cast<int>(std::min<std::size_t>(
-      static_cast<std::size_t>(trials), 4 * pool.num_threads()));
-  for (int s = 0; s < stripes; ++s) {
-    pool.submit([&results, &fn, master_seed, s, stripes, trials] {
-      for (int i = s; i < trials; i += stripes) {
-        results[static_cast<std::size_t>(i)] =
-            fn(rng::stream_seed(master_seed, static_cast<std::uint64_t>(i)));
-      }
-    });
-  }
-  pool.wait_idle();
+  const auto n = static_cast<std::size_t>(trials);
+  const std::size_t stripes = std::min(n, 4 * pool.num_threads());
+  const TaskGraph graph({static_cast<std::uint32_t>(stripes)});
+  graph.run(
+      pool,
+      [&results, &fn, master_seed, n, stripes](const TaskUnit& unit) {
+        // Even contiguous partition of [0, n): stripe s owns
+        // [s*n/stripes, (s+1)*n/stripes).
+        const std::size_t begin = unit.stripe * n / stripes;
+        const std::size_t end = (unit.stripe + 1) * n / stripes;
+        for (std::size_t i = begin; i < end; ++i) {
+          results[i] = fn(rng::stream_seed(master_seed, i));
+        }
+      },
+      [](std::size_t) {});
   return results;
 }
 

@@ -1,11 +1,12 @@
 // Concurrency stress suite: deliberately contended schedules for the
 // shared-state paths the determinism contract leans on — ThreadPool
 // (exception capture under contention, wait_idle racing enqueue, reuse
-// after failure), striped run_trials, and point-parallel runner::Sweep
-// cells. The assertions matter, but the real reviewer is ThreadSanitizer:
-// the `tsan` preset runs this suite to give TSan genuine interleavings to
-// inspect (see docs/verification.md). Keep new cross-thread machinery
-// covered here.
+// after failure), the work-stealing TaskGraph (steal-heavy mixed stripe
+// counts, exactly-once completion callbacks, first-exception-wins),
+// striped run_trials, and parallel runner::Sweep cells. The assertions
+// matter, but the real reviewer is ThreadSanitizer: the `tsan` preset
+// runs this suite to give TSan genuine interleavings to inspect (see
+// docs/verification.md). Keep new cross-thread machinery covered here.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -16,6 +17,7 @@
 #include <vector>
 
 #include "runner/sweep.hpp"
+#include "runner/task_graph.hpp"
 #include "runner/trials.hpp"
 #include "util/thread_pool.hpp"
 
@@ -156,11 +158,101 @@ TEST(TrialStress, TrialExceptionPropagatesPoolSurvives) {
   EXPECT_EQ(ok.size(), 32u);
 }
 
-// One small but genuinely parallel sweep per execution mode, byte-compared.
+TEST(TaskGraphStress, StealHeavyMixedStripeCounts) {
+  // A steal-heavy schedule: items alternate between 1 stripe and 64
+  // stripes, so workers that drain a skinny item immediately steal into
+  // a fat one. Every stripe must run exactly once and every item's
+  // completion callback must fire exactly once, after all its stripes.
+  util::ThreadPool pool(8);
+  constexpr std::size_t kItems = 40;
+  std::vector<std::uint32_t> stripes(kItems);
+  std::size_t total_units = 0;
+  for (std::size_t i = 0; i < kItems; ++i) {
+    stripes[i] = (i % 2 == 0) ? 1u : 64u;
+    total_units += stripes[i];
+  }
+  const runner::TaskGraph graph(std::move(stripes));
+  ASSERT_EQ(graph.num_units(), total_units);
+  std::vector<std::atomic<std::uint32_t>> stripe_runs(kItems);
+  std::vector<std::atomic<std::uint32_t>> done_calls(kItems);
+  graph.run(
+      pool,
+      [&stripe_runs](const runner::TaskUnit& unit) {
+        stripe_runs[unit.item].fetch_add(1, std::memory_order_relaxed);
+      },
+      [&](std::size_t item) {
+        // All of the item's stripes must be visible to the finisher.
+        EXPECT_EQ(stripe_runs[item].load(std::memory_order_relaxed),
+                  graph.stripes_of(item));
+        done_calls[item].fetch_add(1, std::memory_order_relaxed);
+      });
+  for (std::size_t i = 0; i < kItems; ++i) {
+    EXPECT_EQ(stripe_runs[i].load(), graph.stripes_of(i)) << "item " << i;
+    EXPECT_EQ(done_calls[i].load(), 1u) << "item " << i;
+  }
+}
+
+TEST(TaskGraphStress, FirstExceptionWinsAndPoisonsBatch) {
+  // One stripe throws; the batch stops claiming new units, exactly one
+  // exception surfaces, and the pool survives for the next batch.
+  util::ThreadPool pool(4);
+  const runner::TaskGraph graph(std::vector<std::uint32_t>(64, 8u));
+  std::atomic<std::uint32_t> ran{0};
+  EXPECT_THROW(
+      graph.run(
+          pool,
+          [&ran](const runner::TaskUnit& unit) {
+            if (unit.item == 5 && unit.stripe == 3) {
+              throw std::runtime_error("stripe bomb");
+            }
+            ran.fetch_add(1, std::memory_order_relaxed);
+          },
+          [](std::size_t) {}),
+      std::runtime_error);
+  // Poisoning is best-effort — in-flight stripes finish — but the batch
+  // must not have run everything as if nothing happened... unless the
+  // scheduler genuinely raced everything through first, which the cap
+  // below tolerates.
+  EXPECT_LE(ran.load(), graph.num_units() - 1);
+
+  std::atomic<std::uint32_t> after{0};
+  const runner::TaskGraph clean(std::vector<std::uint32_t>(16, 2u));
+  clean.run(
+      pool,
+      [&after](const runner::TaskUnit&) {
+        after.fetch_add(1, std::memory_order_relaxed);
+      },
+      [](std::size_t) {});
+  EXPECT_EQ(after.load(), clean.num_units());
+}
+
+TEST(TaskGraphStress, ShuffledOrderStillCompletesEverything) {
+  // A custom execution order (here: reversed) only changes scheduling;
+  // coverage and completion semantics are unchanged.
+  util::ThreadPool pool(4);
+  constexpr std::size_t kItems = 25;
+  std::vector<std::uint32_t> stripes(kItems, 3u);
+  std::vector<std::size_t> order(kItems);
+  for (std::size_t i = 0; i < kItems; ++i) order[i] = kItems - 1 - i;
+  const runner::TaskGraph graph(std::move(stripes), std::move(order));
+  std::vector<std::atomic<std::uint32_t>> runs(kItems);
+  std::atomic<std::uint32_t> done{0};
+  graph.run(
+      pool,
+      [&runs](const runner::TaskUnit& unit) {
+        runs[unit.item].fetch_add(1, std::memory_order_relaxed);
+      },
+      [&done](std::size_t) { done.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(done.load(), kItems);
+  for (std::size_t i = 0; i < kItems; ++i) EXPECT_EQ(runs[i].load(), 3u);
+}
+
+// One small but genuinely parallel sweep per schedule, byte-compared.
 // This is the contract the whole tooling layer defends: CSV output is a
-// pure function of (spec, master_seed), independent of thread count and
-// scheduling mode — and TSan watches the cell buffering that makes it so.
-std::vector<std::string> sweep_rows(bool point_parallel, bool shuffle,
+// pure function of (spec, master_seed), independent of thread count,
+// stripe width, and execution order — and TSan watches the cell
+// buffering that makes it so.
+std::vector<std::string> sweep_rows(std::size_t stripe_width, bool shuffle,
                                     std::size_t threads) {
   runner::SweepSpec spec;
   spec.engines = {"skip", "batched"};
@@ -169,7 +261,7 @@ std::vector<std::string> sweep_rows(bool point_parallel, bool shuffle,
   spec.trials = 6;
   spec.master_seed = 42;
   spec.threads = threads;
-  spec.point_parallelism = point_parallel;
+  spec.stripe_width = stripe_width;
   spec.shuffle_points = shuffle;
   runner::Sweep sweep(spec);
   std::vector<std::string> rows;
@@ -184,13 +276,13 @@ std::vector<std::string> sweep_rows(bool point_parallel, bool shuffle,
   return rows;
 }
 
-TEST(SweepStress, PointParallelCellsByteIdenticalAcrossSchedules) {
-  const auto sequential = sweep_rows(false, false, 1);
-  const auto trial_parallel = sweep_rows(false, false, 4);
-  const auto point_parallel = sweep_rows(true, false, 4);
-  const auto shuffled = sweep_rows(true, true, 4);
-  EXPECT_EQ(sequential, trial_parallel);
-  EXPECT_EQ(sequential, point_parallel);
+TEST(SweepStress, CellsByteIdenticalAcrossSchedules) {
+  const auto sequential = sweep_rows(1, false, 1);
+  const auto striped = sweep_rows(2, false, 4);
+  const auto wide_stripes = sweep_rows(64, false, 4);
+  const auto shuffled = sweep_rows(3, true, 4);
+  EXPECT_EQ(sequential, striped);
+  EXPECT_EQ(sequential, wide_stripes);
   EXPECT_EQ(sequential, shuffled);
 }
 
@@ -206,7 +298,7 @@ TEST(SweepStress, ManySmallPointsKeepCallbackSerial) {
   spec.trials = 3;
   spec.master_seed = 9;
   spec.threads = 8;
-  spec.point_parallelism = true;
+  spec.stripe_width = 1;
   spec.shuffle_points = true;
   runner::Sweep sweep(spec);
   int inside = 0;

@@ -245,10 +245,11 @@ std::string render(const runner::Sweep& sweep) {
   return out;
 }
 
-TEST(Lockstep, SweepOutputIsByteIdenticalAcrossModesAndThreads) {
-  // The lockstep routing collapses a cell to one kernel call, so output
-  // cannot depend on thread scheduling — but the wiring still has to keep
-  // the sequential and point-parallel paths on the same code path.
+TEST(Lockstep, SweepOutputIsByteIdenticalAcrossStripesAndThreads) {
+  // Per-trial lockstep is bit-identical stream for stream, so a stripe of
+  // any width routes through one kernel call over exactly the per-trial
+  // seeds the scalar path would use — output cannot depend on thread
+  // scheduling or on how trials are cut into stripes.
   runner::SweepSpec spec;
   spec.ns = {400, 900};
   spec.ks = {2, 3};
@@ -259,10 +260,12 @@ TEST(Lockstep, SweepOutputIsByteIdenticalAcrossModesAndThreads) {
   spec.threads = 1;
   const std::string sequential = render(runner::Sweep(spec));
   for (const std::size_t threads : {2u, 6u}) {
-    spec.threads = threads;
-    spec.point_parallelism = true;
-    EXPECT_EQ(render(runner::Sweep(spec)), sequential)
-        << threads << " threads";
+    for (const std::size_t width : {1u, 3u, 64u}) {
+      spec.threads = threads;
+      spec.stripe_width = width;
+      EXPECT_EQ(render(runner::Sweep(spec)), sequential)
+          << threads << " threads, stripe width " << width;
+    }
   }
 }
 
@@ -305,6 +308,14 @@ TEST(Lockstep, SweepMatchesScalarBatchedEngineCellForCell) {
           << "row " << i << " column " << header[col];
     }
   }
+
+  // Satellite contract: cutting the 5 trials into sub-width stripes
+  // routes each stripe through its own kernel call over per-trial seeds,
+  // so the rows stay pinned to the same scalar-batched streams.
+  spec.stripe_width = 2;
+  EXPECT_EQ(collect(spec), lockstep_rows);
+  spec.stripe_width = 1;
+  EXPECT_EQ(collect(spec), lockstep_rows);
 }
 
 // ---- shared chunk schedule ----
@@ -393,7 +404,7 @@ TEST(LockstepShared, ConsensusTimesMatchExactChainInDistribution) {
 TEST(LockstepShared, SweepOutputIsByteIdenticalAcrossThreads) {
   // Self-determinism must survive the sweep wiring: the shared stream is
   // consumed inside one kernel call per cell, so thread count and
-  // point-parallel scheduling cannot perturb the output.
+  // work-stealing scheduling cannot perturb the output.
   runner::SweepSpec spec;
   spec.ns = {400, 900};
   spec.ks = {2, 3};
@@ -405,10 +416,15 @@ TEST(LockstepShared, SweepOutputIsByteIdenticalAcrossThreads) {
   spec.threads = 1;
   const std::string sequential = render(runner::Sweep(spec));
   for (const std::size_t threads : {2u, 6u}) {
-    spec.threads = threads;
-    spec.point_parallelism = true;
-    EXPECT_EQ(render(runner::Sweep(spec)), sequential)
-        << threads << " threads";
+    for (const std::size_t width : {1u, 8u}) {
+      // Shared-schedule cells collapse to a single whole-cell unit no
+      // matter the requested stripe width — one controller drives the
+      // whole cohort, so striping would change the shared stream.
+      spec.threads = threads;
+      spec.stripe_width = width;
+      EXPECT_EQ(render(runner::Sweep(spec)), sequential)
+          << threads << " threads, stripe width " << width;
+    }
   }
 }
 

@@ -140,21 +140,26 @@ TEST(Sweep, JsonLineQuotesOnlyNameFields) {
   EXPECT_EQ(json.find("\"n\":\"300\""), std::string::npos);
 }
 
-TEST(Sweep, PointParallelOutputIsByteIdenticalToSequential) {
-  // The acceptance bar for point-parallel mode: the streamed CSV (and so
-  // the JSONL) must match the sequential run byte for byte, at any thread
-  // count, with and without shuffled execution order.
+TEST(Sweep, OutputIsByteIdenticalAcrossThreadsStripesAndShuffle) {
+  // The acceptance bar for the work-stealing task graph: the streamed
+  // CSV (and so the JSONL) is a pure function of (spec, master_seed) —
+  // identical bytes at any thread count, any stripe width, with and
+  // without shuffled execution order.
   auto spec = tiny_spec();
   spec.threads = 1;
-  const std::string sequential = render(Sweep(spec));
+  spec.stripe_width = 1;
+  const std::string reference = render(Sweep(spec));
   for (const std::size_t threads : {1u, 3u, 8u}) {
-    spec.threads = threads;
-    spec.point_parallelism = true;
-    spec.shuffle_points = false;
-    EXPECT_EQ(render(Sweep(spec)), sequential) << threads << " threads";
-    spec.shuffle_points = true;
-    EXPECT_EQ(render(Sweep(spec)), sequential)
-        << threads << " threads, shuffled";
+    for (const std::size_t width : {1u, 2u, 3u, 8u, 64u}) {
+      spec.threads = threads;
+      spec.stripe_width = width;
+      spec.shuffle_points = false;
+      EXPECT_EQ(render(Sweep(spec)), reference)
+          << threads << " threads, stripe width " << width;
+      spec.shuffle_points = true;
+      EXPECT_EQ(render(Sweep(spec)), reference)
+          << threads << " threads, stripe width " << width << ", shuffled";
+    }
   }
 }
 
@@ -286,11 +291,12 @@ TEST(Sweep, GraphSweepOutputIsByteIdenticalAcrossThreadCounts) {
   const std::string reference = render(Sweep(spec));
   for (const std::size_t threads : {2u, 8u}) {
     spec.threads = threads;
-    spec.point_parallelism = false;
-    EXPECT_EQ(render(Sweep(spec)), reference) << threads << " threads";
-    spec.point_parallelism = true;
+    spec.stripe_width = 1;
     EXPECT_EQ(render(Sweep(spec)), reference)
-        << threads << " threads, point-parallel";
+        << threads << " threads, stripe width 1";
+    spec.stripe_width = 8;
+    EXPECT_EQ(render(Sweep(spec)), reference)
+        << threads << " threads, stripe width 8";
   }
 }
 
@@ -367,17 +373,17 @@ TEST(Sweep, DisconnectedTopologyShortCircuitsUnderDefaultBudget) {
       cells[0].parallel_time.mean(),
       static_cast<double>(core::default_interaction_cap(200, 2)) / 200.0);
 
-  // Byte-identical across execution modes, like every other cell.
+  // Byte-identical across scheduling, like every other cell.
   const std::string reference = render(Sweep(spec));
   spec.threads = 4;
-  spec.point_parallelism = true;
+  spec.stripe_width = 1;
   EXPECT_EQ(render(Sweep(spec)), reference);
 
   // The aggregated engine hits the same guard through its degree classes
   // (mean degree ~1 realizes isolated vertices).
   SweepSpec aggregated = spec;
   aggregated.threads = 0;
-  aggregated.point_parallelism = false;
+  aggregated.stripe_width = SweepSpec{}.stripe_width;
   aggregated.ns = {2000};
   aggregated.engines = {"graph-batched"};
   aggregated.graphs = {
@@ -526,11 +532,13 @@ TEST(Sweep, RejectsInvalidSpecs) {
   spec.bias_kind = BiasKind::kMultiplicative;
   spec.bias_values = {1.0};
   EXPECT_THROW(Sweep{spec}, util::CheckError);
-  // Shuffled execution is a point-parallel feature.
+  // The work-stealing grain must be a positive trial count; shuffled
+  // execution is always allowed (it is pure scheduling).
   spec = tiny_spec();
-  spec.shuffle_points = true;
+  spec.stripe_width = 0;
   EXPECT_THROW(Sweep{spec}, util::CheckError);
-  spec.point_parallelism = true;
+  spec.stripe_width = 1;
+  spec.shuffle_points = true;
   EXPECT_NO_THROW(Sweep{spec});
   // Geometric starts define their own support shape: no bias axis, and
   // the ratio must be a valid geometric ratio.

@@ -1,0 +1,448 @@
+// Fault-injection suite for the sweep service: deterministic sharding,
+// the checkpoint/resume journal, and `merge` provenance validation. The
+// contract under test is byte-identity — shard concatenation, a merge of
+// shard journals, and a resume after a kill at ANY cell boundary must
+// all reproduce the unsharded, uninterrupted output exactly — plus the
+// strict negative space: a mismatched digest, overlapping or missing
+// shards, and truncated or corrupt journal lines fail loudly before any
+// output is produced.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runner/sweep.hpp"
+#include "runner/sweep_service.hpp"
+#include "util/check.hpp"
+
+namespace kusd {
+namespace {
+
+using runner::Journal;
+using runner::merge_journals;
+using runner::parse_shard;
+using runner::read_journal;
+using runner::run_sweep_service;
+using runner::shard_range;
+using runner::ShardSpec;
+using runner::Sweep;
+using runner::SweepRowEvent;
+using runner::SweepServiceOptions;
+using runner::SweepSpec;
+using runner::sweep_digest;
+
+/// A small real grid: 2 engines x 2 n x 2 k = 8 points, cheap trials.
+SweepSpec service_spec(std::uint64_t seed = 123) {
+  SweepSpec spec;
+  spec.engines = {"skip", "gossip"};
+  spec.ns = {300, 600};
+  spec.ks = {2, 3};
+  spec.trials = 3;
+  spec.master_seed = seed;
+  spec.threads = 1;
+  return spec;
+}
+
+std::string temp_path(const std::string& name) {
+  const auto path = std::filesystem::path(testing::TempDir()) /
+                    ("kusd_sweep_service_" + name);
+  std::filesystem::remove(path);
+  return path.string();
+}
+
+std::string render_row(const std::vector<std::string>& row) {
+  std::string out;
+  for (const auto& field : row) {
+    out += field;
+    out += ',';
+  }
+  out += '\n';
+  return out;
+}
+
+/// Byte-identity witness for the whole service path: every emitted row,
+/// rendered in emission order.
+std::string render_service(const Sweep& sweep,
+                           const SweepServiceOptions& options) {
+  std::string out;
+  run_sweep_service(sweep, options, [&out](const SweepRowEvent& event) {
+    out += render_row(*event.row);
+  });
+  return out;
+}
+
+/// The reference: the plain unsharded, unjournaled sweep.
+std::string render_reference(const Sweep& sweep) {
+  std::string out;
+  sweep.run([&out](const runner::SweepCell& cell) {
+    out += render_row(Sweep::csv_row(cell));
+  });
+  return out;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+  ASSERT_TRUE(out.good());
+}
+
+TEST(ShardSpecParse, AcceptsWellFormedRejectsEverythingElse) {
+  const auto ok = parse_shard("2/7");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->index, 2u);
+  EXPECT_EQ(ok->count, 7u);
+  EXPECT_TRUE(parse_shard("0/1").has_value());
+  // Index must be strictly below count; count must be positive.
+  EXPECT_FALSE(parse_shard("2/2").has_value());
+  EXPECT_FALSE(parse_shard("0/0").has_value());
+  EXPECT_FALSE(parse_shard("").has_value());
+  EXPECT_FALSE(parse_shard("3").has_value());
+  EXPECT_FALSE(parse_shard("/3").has_value());
+  EXPECT_FALSE(parse_shard("3/").has_value());
+  EXPECT_FALSE(parse_shard("a/b").has_value());
+  EXPECT_FALSE(parse_shard("-1/2").has_value());
+  EXPECT_FALSE(parse_shard("1/2/3").has_value());
+  EXPECT_FALSE(parse_shard("1 /2").has_value());
+}
+
+TEST(ShardRange, BlocksTileTheGridForAnyCount) {
+  for (const std::size_t total : {0u, 1u, 5u, 8u, 12u, 97u}) {
+    for (const std::size_t count : {1u, 2u, 3u, 7u, 13u}) {
+      std::size_t expected_begin = 0;
+      for (std::size_t index = 0; index < count; ++index) {
+        const auto range = shard_range(total, ShardSpec{index, count});
+        EXPECT_EQ(range.begin, expected_begin)
+            << "shard " << index << "/" << count << " of " << total;
+        EXPECT_LE(range.begin, range.end);
+        expected_begin = range.end;
+      }
+      EXPECT_EQ(expected_begin, total) << count << "-way split of " << total;
+    }
+  }
+}
+
+TEST(SweepService, ShardConcatenationIsByteIdenticalToUnsharded) {
+  const Sweep sweep(service_spec());
+  const std::string reference = render_reference(sweep);
+  for (const std::size_t count : {1u, 2u, 3u, 7u}) {
+    std::string concatenated;
+    for (std::size_t index = 0; index < count; ++index) {
+      SweepServiceOptions options;
+      options.shard = ShardSpec{index, count};
+      concatenated += render_service(sweep, options);
+    }
+    EXPECT_EQ(concatenated, reference) << count << "-way sharding";
+  }
+}
+
+TEST(SweepService, MergedShardJournalsAreByteIdenticalToUnsharded) {
+  const Sweep sweep(service_spec());
+  const std::string reference = render_reference(sweep);
+  for (const std::size_t count : {1u, 2u, 3u, 7u}) {
+    std::vector<std::string> paths;
+    for (std::size_t index = 0; index < count; ++index) {
+      SweepServiceOptions options;
+      options.shard = ShardSpec{index, count};
+      options.journal_path = temp_path("merge_" + std::to_string(count) +
+                                       "_" + std::to_string(index) +
+                                       ".jsonl");
+      paths.push_back(options.journal_path);
+      render_service(sweep, options);
+    }
+    // Merge must reorder by block start, so hand it the paths reversed.
+    std::vector<std::string> shuffled(paths.rbegin(), paths.rend());
+    std::string merged;
+    merge_journals(shuffled,
+                   [&merged](std::size_t, const std::vector<std::string>& row) {
+                     merged += render_row(row);
+                   });
+    EXPECT_EQ(merged, reference) << count << "-way merge";
+  }
+}
+
+/// The fault injector: aborts the run (via an exception type nothing else
+/// throws) once `stop_after` cells have been computed and journaled.
+struct KillSwitch {};
+
+/// Run with a journal, killing after `stop_after` computed cells; returns
+/// the number of cells the journal holds afterwards. stop_after >= grid
+/// size means the run completes. stop_after == 0 reproduces the kill
+/// window between the header flush and the first cell line by truncating
+/// the journal back to its header — after_cell cannot fire earlier.
+std::size_t run_and_kill(const Sweep& sweep, const std::string& journal_path,
+                         std::size_t stop_after) {
+  SweepServiceOptions options;
+  options.journal_path = journal_path;
+  const std::size_t trip = stop_after == 0 ? 1 : stop_after;
+  if (trip < sweep.grid().size()) {
+    options.after_cell = [trip](std::size_t computed) {
+      if (computed >= trip) throw KillSwitch{};
+    };
+  }
+  bool killed = false;
+  try {
+    run_sweep_service(sweep, options, [](const SweepRowEvent&) {});
+  } catch (const KillSwitch&) {
+    killed = true;
+  }
+  EXPECT_EQ(killed, trip < sweep.grid().size());
+  if (stop_after == 0) {
+    const std::string content = slurp(journal_path);
+    spit(journal_path, content.substr(0, content.find('\n') + 1));
+  }
+  return read_journal(journal_path).cells.size();
+}
+
+TEST(SweepService, ResumeAfterKillAtEveryCellBoundaryIsByteIdentical) {
+  const Sweep sweep(service_spec());
+  const std::string reference = render_reference(sweep);
+  const std::size_t points = sweep.grid().size();
+  ASSERT_EQ(points, 8u);
+  for (std::size_t stop = 0; stop <= points; ++stop) {
+    const std::string journal =
+        temp_path("resume_" + std::to_string(stop) + ".jsonl");
+    const std::size_t recorded = run_and_kill(sweep, journal, stop);
+    ASSERT_EQ(recorded, stop) << "killed after " << stop << " cells";
+
+    SweepServiceOptions options;
+    options.resume_path = journal;
+    std::string out;
+    std::size_t replayed = 0;
+    std::size_t computed = 0;
+    std::size_t last_index = 0;
+    run_sweep_service(sweep, options, [&](const SweepRowEvent& event) {
+      out += render_row(*event.row);
+      // Replayed rows carry no cell (nothing was recomputed); rows must
+      // arrive in strict grid order regardless of provenance.
+      (event.cell == nullptr ? replayed : computed) += 1;
+      if (replayed + computed > 1) {
+        EXPECT_GT(event.index, last_index);
+      }
+      last_index = event.index;
+    });
+    EXPECT_EQ(out, reference) << "resume after " << stop << " cells";
+    EXPECT_EQ(replayed, stop);
+    EXPECT_EQ(computed, points - stop);
+    // The journal is now complete and merges cleanly on its own.
+    EXPECT_EQ(read_journal(journal).cells.size(), points);
+    std::string merged;
+    merge_journals({journal},
+                   [&merged](std::size_t, const std::vector<std::string>& row) {
+                     merged += render_row(row);
+                   });
+    EXPECT_EQ(merged, reference);
+  }
+}
+
+TEST(SweepService, EmittedRowsAreAlwaysCoveredByTheJournal) {
+  // The durability contract: a cell's journal line is flushed before the
+  // row reaches the consumer, so re-reading the journal from inside the
+  // consumer must always find every row observed so far.
+  const Sweep sweep(service_spec());
+  SweepServiceOptions options;
+  options.journal_path = temp_path("covered.jsonl");
+  run_sweep_service(sweep, options, [&](const SweepRowEvent& event) {
+    const Journal journal = read_journal(options.journal_path);
+    const auto it = journal.cells.find(event.index);
+    ASSERT_NE(it, journal.cells.end()) << "cell " << event.index;
+    EXPECT_EQ(it->second, *event.row);
+  });
+}
+
+TEST(SweepService, ResumeRejectsJournalFromDifferentSweep) {
+  const Sweep sweep(service_spec(123));
+  const Sweep other(service_spec(124));
+  EXPECT_NE(sweep_digest(sweep), sweep_digest(other));
+  const std::string journal = temp_path("digest.jsonl");
+  SweepServiceOptions write;
+  write.journal_path = journal;
+  render_service(sweep, write);
+
+  SweepServiceOptions resume;
+  resume.resume_path = journal;
+  EXPECT_THROW(render_service(other, resume), util::CheckError);
+}
+
+TEST(SweepService, ResumeRejectsJournalFromDifferentShard) {
+  const Sweep sweep(service_spec());
+  const std::string journal = temp_path("shard_mismatch.jsonl");
+  SweepServiceOptions write;
+  write.shard = ShardSpec{0, 2};
+  write.journal_path = journal;
+  render_service(sweep, write);
+
+  SweepServiceOptions resume;
+  resume.shard = ShardSpec{1, 2};
+  resume.resume_path = journal;
+  EXPECT_THROW(render_service(sweep, resume), util::CheckError);
+}
+
+TEST(SweepService, ResumeRejectsConflictingJournalPath) {
+  const Sweep sweep(service_spec());
+  const std::string journal = temp_path("conflict.jsonl");
+  SweepServiceOptions write;
+  write.journal_path = journal;
+  render_service(sweep, write);
+
+  SweepServiceOptions resume;
+  resume.resume_path = journal;
+  resume.journal_path = temp_path("conflict_other.jsonl");
+  EXPECT_THROW(render_service(sweep, resume), util::CheckError);
+}
+
+TEST(SweepService, JournalReaderRejectsEveryCorruption) {
+  const Sweep sweep(service_spec());
+  const std::string journal = temp_path("corrupt.jsonl");
+  SweepServiceOptions write;
+  write.journal_path = journal;
+  render_service(sweep, write);
+  const std::string good = slurp(journal);
+  ASSERT_FALSE(good.empty());
+  ASSERT_EQ(good.back(), '\n');
+
+  const auto expect_rejected = [&](const std::string& content,
+                                   const std::string& what) {
+    const std::string path = temp_path("corrupt_case.jsonl");
+    spit(path, content);
+    EXPECT_THROW((void)read_journal(path), util::CheckError) << what;
+    // The same defect must also stop a resume cold.
+    SweepServiceOptions resume;
+    resume.resume_path = path;
+    EXPECT_THROW(render_service(sweep, resume), util::CheckError) << what;
+  };
+
+  // Truncated mid-line (the classic kill-during-write artifact).
+  expect_rejected(good.substr(0, good.size() - 3), "truncated tail");
+  // Missing header.
+  expect_rejected(good.substr(good.find('\n') + 1), "missing header");
+  // Empty file.
+  expect_rejected("", "empty file");
+  // Garbage line appended.
+  expect_rejected(good + "not json\n", "garbage line");
+  // Corrupt checksum: flip one crc hex digit on the last cell line.
+  {
+    std::string bad = good;
+    const std::size_t crc = bad.rfind("\"crc\":\"");
+    ASSERT_NE(crc, std::string::npos);
+    char& digit = bad[crc + 7];
+    digit = digit == '0' ? '1' : '0';
+    expect_rejected(bad, "crc flip");
+  }
+  // Duplicate cell line.
+  {
+    const std::size_t second_line = good.find('\n') + 1;
+    const std::size_t third_line = good.find('\n', second_line) + 1;
+    const std::string cell =
+        good.substr(second_line, third_line - second_line);
+    expect_rejected(good + cell, "duplicate cell");
+  }
+  // A cell outside the shard's block: graft an upper-half cell line onto
+  // the lower-half shard's journal — read_journal must flag the index as
+  // out of the journal's declared range.
+  {
+    SweepServiceOptions upper_options;
+    upper_options.shard = ShardSpec{1, 2};
+    upper_options.journal_path = temp_path("upper_half.jsonl");
+    render_service(sweep, upper_options);
+    const std::string upper = slurp(upper_options.journal_path);
+    const std::size_t first_cell = upper.find('\n') + 1;
+    const std::size_t next = upper.find('\n', first_cell) + 1;
+    const std::string foreign = upper.substr(first_cell, next - first_cell);
+
+    SweepServiceOptions lower_options;
+    lower_options.shard = ShardSpec{0, 2};
+    lower_options.journal_path = temp_path("lower_half.jsonl");
+    render_service(sweep, lower_options);
+    expect_rejected(slurp(lower_options.journal_path) + foreign,
+                    "out-of-range cell");
+  }
+}
+
+TEST(SweepMerge, RejectsMissingOverlappingAndForeignShards) {
+  const Sweep sweep(service_spec());
+  std::vector<std::string> paths;
+  for (std::size_t index = 0; index < 3; ++index) {
+    SweepServiceOptions options;
+    options.shard = ShardSpec{index, 3};
+    options.journal_path =
+        temp_path("neg_merge_" + std::to_string(index) + ".jsonl");
+    paths.push_back(options.journal_path);
+    render_service(sweep, options);
+  }
+  const auto expect_merge_rejected = [](const std::vector<std::string>& set,
+                                        const std::string& what) {
+    bool emitted = false;
+    EXPECT_THROW(
+        merge_journals(set,
+                       [&emitted](std::size_t,
+                                  const std::vector<std::string>&) {
+                         emitted = true;
+                       }),
+        util::CheckError)
+        << what;
+    // Never partial output: validation happens before the first row.
+    EXPECT_FALSE(emitted) << what;
+  };
+
+  // Missing shard.
+  expect_merge_rejected({paths[0], paths[2]}, "missing shard 1");
+  // Duplicated shard (overlapping blocks).
+  expect_merge_rejected({paths[0], paths[0], paths[2]}, "duplicate shard 0");
+  // A journal from a different sweep mixed in.
+  const Sweep other(service_spec(999));
+  SweepServiceOptions foreign;
+  foreign.shard = ShardSpec{1, 3};
+  foreign.journal_path = temp_path("neg_merge_foreign.jsonl");
+  render_service(other, foreign);
+  expect_merge_rejected({paths[0], foreign.journal_path, paths[2]},
+                        "foreign digest");
+  // An incomplete journal (killed mid-shard) must be resumed first.
+  const std::string partial = temp_path("neg_merge_partial.jsonl");
+  {
+    SweepServiceOptions options;
+    options.shard = ShardSpec{1, 3};
+    options.journal_path = partial;
+    options.after_cell = [](std::size_t computed) {
+      if (computed >= 1) throw KillSwitch{};
+    };
+    EXPECT_THROW(run_sweep_service(sweep, options,
+                                   [](const SweepRowEvent&) {}),
+                 KillSwitch);
+  }
+  expect_merge_rejected({paths[0], partial, paths[2]}, "incomplete shard 1");
+  // No journals at all.
+  expect_merge_rejected({}, "empty set");
+}
+
+TEST(SweepService, DigestIgnoresSchedulingKnobs) {
+  auto spec = service_spec();
+  const std::uint64_t base = sweep_digest(Sweep(spec));
+  spec.threads = 7;
+  spec.stripe_width = 64;
+  spec.shuffle_points = true;
+  EXPECT_EQ(sweep_digest(Sweep(spec)), base);
+  // ...but anything that changes cell bytes changes the digest.
+  spec.trials = 4;
+  EXPECT_NE(sweep_digest(Sweep(spec)), base);
+  spec = service_spec();
+  spec.ns = {300, 601};
+  EXPECT_NE(sweep_digest(Sweep(spec)), base);
+  spec = service_spec();
+  spec.engines = {"skip"};
+  EXPECT_NE(sweep_digest(Sweep(spec)), base);
+}
+
+}  // namespace
+}  // namespace kusd

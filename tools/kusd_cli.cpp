@@ -3,7 +3,11 @@
 // Subcommands:
 //   run       one USD run, printed phases and outcome
 //   sweep     grid sweep over (engine, n, k, bias) with parallel trials,
-//             streamed to a table and optionally CSV / JSONL
+//             streamed to a table and optionally CSV / JSONL; supports
+//             deterministic sharding (--shard i/N), cell-granular
+//             checkpoints (--journal) and crash resume (--resume)
+//   merge     validate shard journals (same sweep, complete, gap-free)
+//             and concatenate them into the unsharded CSV / JSONL
 //   trace     record a trajectory CSV for plotting
 //   exact     exact win probability / expected time (small n, k)
 //
@@ -13,10 +17,17 @@
 //   kusd sweep --n 32768 --k 8 --bias multiplicative --alpha 2 --trials 50
 //   kusd sweep --n 1e5,1e6 --k 8,32 --engine skip,batched,gossip
 //        --trials 20 --out sweep.csv --json sweep.jsonl
+//   kusd sweep --n 1e5 --k 2,4,8 --shard 0/3 --journal shard0.journal
+//        --out shard0.csv
+//   kusd sweep --resume shard0.journal --n 1e5 --k 2,4,8 --shard 0/3
+//        --out shard0.csv
+//   kusd merge --inputs shard0.journal,shard1.journal,shard2.journal
+//        --out sweep.csv
 //   kusd trace --n 100000 --k 8 --out trace.csv
 //   kusd exact --n 12 --k 3 --support 6,4,2
 #include <cerrno>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,6 +45,7 @@
 #include "pp/trajectory.hpp"
 #include "runner/csv.hpp"
 #include "runner/sweep.hpp"
+#include "runner/sweep_service.hpp"
 #include "runner/table.hpp"
 #include "sim/registry.hpp"
 
@@ -60,7 +72,7 @@ std::string graph_engine_names() {
   const std::string engines = sim::Registry::instance().names_joined();
   std::fprintf(
       exit_code == 0 ? stdout : stderr,
-      "usage: kusd <run|sweep|trace|exact> [options]\n"
+      "usage: kusd <run|sweep|merge|trace|exact> [options]\n"
       "  common:  --n N --k K --undecided U --seed S\n"
       "  bias:    --bias none|additive|multiplicative [--beta B | --alpha A]\n"
       "  engines: %s\n"
@@ -78,7 +90,17 @@ std::string graph_engine_names() {
       "           --lockstep-schedule per-trial|shared (batched-lockstep:\n"
       "             shared = one chunk controller + uniform stream per\n"
       "             cell; faster, deterministic, not stream-identical)\n"
-      "           --point-parallel 0|1 --shuffle-points 0|1\n"
+      "           --stripe-width T (trials per work-stealing unit)\n"
+      "           --shuffle-points 0|1 (shuffled execution order;\n"
+      "             output order and bytes are unaffected)\n"
+      "           --shard I/N (run grid block I of N; shard outputs\n"
+      "             concatenate to the unsharded output byte-for-byte)\n"
+      "           --journal FILE (checkpoint each cell; survives kills)\n"
+      "           --resume FILE (replay a journal's cells, compute the\n"
+      "             rest, append to the same journal; same flags required)\n"
+      "           --out FILE.csv --json FILE.jsonl\n"
+      "  merge:   --inputs J1,J2,... (shard journals; validated: same\n"
+      "             sweep digest, every shard once, complete, no gaps)\n"
       "           --out FILE.csv --json FILE.jsonl\n"
       "  trace:   --out FILE.csv\n"
       "  exact:   --support x1,x2,...  (n <= ~20, small k)\n",
@@ -289,8 +311,8 @@ int cmd_sweep(const Args& args) {
     static const std::set<std::string> known = {
         "n",      "k",     "engine", "graph",   "bias", "beta", "alpha",
         "undecided", "ufrac", "budget", "trials", "seed", "threads",
-        "chunk", "chunk-policy", "lockstep-schedule", "start", "point-parallel",
-        "shuffle-points", "out",    "json"};
+        "chunk", "chunk-policy", "lockstep-schedule", "start", "stripe-width",
+        "shuffle-points", "shard", "journal", "resume", "out", "json"};
     if (known.count(key) == 0) {
       std::fprintf(stderr, "unknown sweep option --%s\n", key.c_str());
       usage();
@@ -439,11 +461,41 @@ int cmd_sweep(const Args& args) {
     }
     spec.lockstep_schedule = *schedule;
   }
-  spec.point_parallelism = args.get_bool("point-parallel", false);
+  {
+    const std::uint64_t width =
+        args.get_u64("stripe-width", runner::SweepSpec{}.stripe_width);
+    if (width < 1 || width > 1'000'000'000) {
+      std::fprintf(stderr, "--stripe-width must be in [1, 1e9]\n");
+      usage();
+    }
+    spec.stripe_width = static_cast<std::size_t>(width);
+  }
   spec.shuffle_points = args.get_bool("shuffle-points", false);
-  if (spec.shuffle_points && !spec.point_parallelism) {
-    std::fprintf(stderr, "--shuffle-points requires --point-parallel 1\n");
-    usage();
+
+  runner::SweepServiceOptions service;
+  {
+    const std::string shard_text = args.get_string("shard", "0/1");
+    const auto shard = runner::parse_shard(shard_text);
+    if (!shard) {
+      std::fprintf(stderr,
+                   "bad shard '%s' (want I/N with 0 <= I < N)\n",
+                   shard_text.c_str());
+      usage();
+    }
+    service.shard = *shard;
+  }
+  service.journal_path = args.get_string("journal", "");
+  service.resume_path = args.get_string("resume", "");
+  // Fault-injection switch for the CI resume-kill leg: after this many
+  // computed cells (each already journaled and flushed), die the way a
+  // crashed production run does — no destructors, no buffered goodbye.
+  if (const char* trip_env = std::getenv("KUSD_SWEEP_TRIP_CELLS")) {
+    const std::uint64_t trip = parse_u64_or_usage(trip_env);
+    if (trip > 0) {
+      service.after_cell = [trip](std::size_t computed) {
+        if (computed >= trip) std::raise(SIGKILL);
+      };
+    }
   }
 
   const runner::Sweep sweep(std::move(spec));
@@ -461,31 +513,40 @@ int cmd_sweep(const Args& args) {
   }
 
   runner::Table table(runner::Sweep::csv_header());
-  const std::size_t total = sweep.grid().size();
+  const auto shard_block =
+      runner::shard_range(sweep.grid().size(), service.shard);
+  const std::size_t total = shard_block.end - shard_block.begin;
   std::size_t cells = 0;
-  sweep.run([&](const runner::SweepCell& cell) {
-    const auto row = runner::Sweep::csv_row(cell);
-    table.add_row(row);
-    if (csv) {
-      csv->write_row(row);
-      csv->flush();
-    }
-    if (json != nullptr) {
-      std::fprintf(json, "%s\n", runner::Sweep::json_line(cell).c_str());
-      std::fflush(json);
-    }
-    ++cells;
-    // Live progress on stderr; the aligned table needs all rows for its
-    // column widths and is printed to stdout at the end.
-    std::fprintf(stderr, "[%zu/%zu] %s%s%s n=%llu k=%d done in %.2fs\n",
-                 cells, total, cell.point.engine.c_str(),
-                 cell.point.graph.has_value() ? " " : "",
-                 cell.point.graph.has_value()
-                     ? sim::to_string(*cell.point.graph).c_str()
-                     : "",
-                 static_cast<unsigned long long>(cell.point.n), cell.point.k,
-                 cell.wall_seconds);
-  });
+  runner::run_sweep_service(
+      sweep, service, [&](const runner::SweepRowEvent& event) {
+        table.add_row(*event.row);
+        if (csv) {
+          csv->write_row(*event.row);
+          csv->flush();
+        }
+        if (json != nullptr) {
+          std::fprintf(json, "%s\n",
+                       runner::Sweep::json_line(*event.row).c_str());
+          std::fflush(json);
+        }
+        ++cells;
+        // Live progress on stderr; the aligned table needs all rows for
+        // its column widths and is printed to stdout at the end.
+        if (event.cell == nullptr) {
+          std::fprintf(stderr, "[%zu/%zu] cell %zu replayed from journal\n",
+                       cells, total, event.index);
+          return;
+        }
+        const runner::SweepCell& cell = *event.cell;
+        std::fprintf(stderr, "[%zu/%zu] %s%s%s n=%llu k=%d done in %.2fs\n",
+                     cells, total, cell.point.engine.c_str(),
+                     cell.point.graph.has_value() ? " " : "",
+                     cell.point.graph.has_value()
+                         ? sim::to_string(*cell.point.graph).c_str()
+                         : "",
+                     static_cast<unsigned long long>(cell.point.n),
+                     cell.point.k, cell.wall_seconds);
+      });
   table.print();
   int rc = 0;
   if (csv && !csv->ok()) {
@@ -499,6 +560,65 @@ int cmd_sweep(const Args& args) {
     rc = 1;
   }
   std::printf("%zu grid cells x %d trials\n", cells, sweep.spec().trials);
+  if (!csv_path.empty()) std::printf("csv: %s\n", csv_path.c_str());
+  if (!json_path.empty()) std::printf("jsonl: %s\n", json_path.c_str());
+  return rc;
+}
+
+int cmd_merge(const Args& args) {
+  for (const auto& [key, value] : args.options) {
+    static const std::set<std::string> known = {"inputs", "out", "json"};
+    if (known.count(key) == 0) {
+      std::fprintf(stderr, "unknown merge option --%s\n", key.c_str());
+      usage();
+    }
+  }
+  const auto inputs = split_list(args.get_string("inputs", ""));
+  if (inputs.empty()) {
+    std::fprintf(stderr, "--inputs must list at least one shard journal\n");
+    usage();
+  }
+  const std::string csv_path = args.get_string("out", "");
+  const std::string json_path = args.get_string("json", "");
+  if (csv_path.empty() && json_path.empty()) {
+    std::fprintf(stderr, "merge needs --out and/or --json\n");
+    usage();
+  }
+
+  // Output files are opened lazily on the first validated row:
+  // merge_journals validates every journal before emitting anything, so
+  // a failed merge leaves no output file behind — not even an empty one.
+  std::optional<runner::CsvWriter> csv;
+  std::FILE* json = nullptr;
+  std::size_t rows = 0;
+  runner::merge_journals(
+      inputs, [&](std::size_t /*index*/, const std::vector<std::string>& row) {
+        if (!csv_path.empty() && !csv) {
+          csv.emplace(csv_path, runner::Sweep::csv_header());
+        }
+        if (!json_path.empty() && json == nullptr) {
+          json = std::fopen(json_path.c_str(), "w");
+          if (json == nullptr) {
+            throw std::runtime_error("cannot open " + json_path);
+          }
+        }
+        if (csv) csv->write_row(row);
+        if (json != nullptr) {
+          std::fprintf(json, "%s\n", runner::Sweep::json_line(row).c_str());
+        }
+        ++rows;
+      });
+  int rc = 0;
+  if (csv && !csv->ok()) {
+    std::fprintf(stderr, "error: writing %s failed\n", csv_path.c_str());
+    rc = 1;
+  }
+  if (json != nullptr && std::fclose(json) != 0) {
+    std::fprintf(stderr, "error: writing %s failed\n", json_path.c_str());
+    rc = 1;
+  }
+  std::printf("merged %zu cells from %zu shard journals\n", rows,
+              inputs.size());
   if (!csv_path.empty()) std::printf("csv: %s\n", csv_path.c_str());
   if (!json_path.empty()) std::printf("jsonl: %s\n", json_path.c_str());
   return rc;
@@ -560,6 +680,7 @@ int main(int argc, char** argv) {
   try {
     if (args.command == "run") return cmd_run(args);
     if (args.command == "sweep") return cmd_sweep(args);
+    if (args.command == "merge") return cmd_merge(args);
     if (args.command == "trace") return cmd_trace(args);
     if (args.command == "exact") return cmd_exact(args);
   } catch (const std::exception& e) {

@@ -25,9 +25,9 @@ Codes:
                        engine name
   schema-drift         docs/sweep.md CSV schema block differs from
                        Sweep::csv_header()
-  flag-doc-drift       a sweep flag accepted by the CLI's known-flags
+  flag-doc-drift       a flag accepted by any subcommand's known-flags
                        set has no `--flag` row in docs/sweep.md, or a
-                       documented row names a flag cmd_sweep rejects
+                       documented row names a flag no subcommand accepts
 """
 
 import re
@@ -53,10 +53,12 @@ CATALOG_FLAG_COLUMNS = {
     "lockstep": "supports_lockstep",
 }
 
-# cmd_sweep's accepted-flag set (the reject-unknown-keys literal) and the
-# `| `--flag` | ...` option rows of docs/sweep.md.
+# Each subcommand's accepted-flag set (the reject-unknown-keys literal)
+# and the `| `--flag` | ...` option rows of docs/sweep.md. Several
+# subcommands (sweep, merge) carry their own set; all are checked.
 KNOWN_FLAGS_SET = re.compile(
     r"std\s*::\s*set\s*<\s*std\s*::\s*string\s*>\s*known\s*=\s*\{")
+COMMAND_FN = re.compile(r"\bcmd_(\w+)\s*\(")
 FLAG_ROW = re.compile(r"^\s*\|\s*`--([\w-]+)`", re.MULTILINE)
 
 
@@ -268,41 +270,50 @@ class ContractSyncPass(base.Pass):
         return findings
 
     def check_sweep_flags(self, ctx):
-        """cmd_sweep's accepted flags vs the docs/sweep.md option rows.
+        """Every subcommand's accepted flags vs docs/sweep.md option rows.
 
-        The CLI rejects unknown keys against one set literal; every
-        member must have a `--flag` table row in docs/sweep.md and every
-        documented row must name an accepted flag, so a new flag (e.g.
-        --lockstep-schedule) cannot land without its documentation — and
-        a removed one cannot leave a ghost row behind.
+        Each subcommand rejects unknown keys against its own set literal
+        (cmd_sweep, cmd_merge, ...); every member of every set must have
+        a `--flag` table row in docs/sweep.md and every documented row
+        must name a flag some subcommand accepts, so a new flag (e.g.
+        --shard or merge's --inputs) cannot land without its
+        documentation — and a removed one cannot leave a ghost row
+        behind. Flags are attributed to the nearest enclosing cmd_*
+        function for the diagnostic.
         """
         source = cpplex.strip_comments(ctx.read(self.cli_file))
-        match = KNOWN_FLAGS_SET.search(source)
-        if not match:
+        matches = list(KNOWN_FLAGS_SET.finditer(source))
+        if not matches:
             raise base.UsageError(
                 f"contract-sync: no known-flags set literal "
                 f"(std::set<std::string> known = {{...}}) parsed from "
                 f"{self.cli_file}")
-        accepted = set(STRING.findall(span(source, match.end() - 1,
-                                           "{", "}")))
+        accepted = {}  # flag -> subcommand name, first set wins
+        for match in matches:
+            command = "sweep"
+            for fn in COMMAND_FN.finditer(source, 0, match.start()):
+                command = fn.group(1)
+            flags = STRING.findall(span(source, match.end() - 1, "{", "}"))
+            for flag in flags:
+                accepted.setdefault(flag, command)
         doc = ctx.read(self.sweep_doc)
         documented = {}
         for row in FLAG_ROW.finditer(doc):
             documented.setdefault(row.group(1),
                                   doc.count("\n", 0, row.start()) + 1)
         findings = []
-        for flag in sorted(accepted - set(documented)):
+        for flag in sorted(set(accepted) - set(documented)):
             findings.append(base.Finding(
                 file=self.sweep_doc, line=0, code="flag-doc-drift",
-                message=f"sweep flag '--{flag}' is accepted by "
-                        f"{self.cli_file} but has no option row in "
+                message=f"{accepted[flag]} flag '--{flag}' is accepted "
+                        f"by {self.cli_file} but has no option row in "
                         f"{self.sweep_doc}"))
-        for flag in sorted(set(documented) - accepted):
+        for flag in sorted(set(documented) - set(accepted)):
             findings.append(base.Finding(
                 file=self.sweep_doc, line=documented[flag],
                 code="flag-doc-drift",
-                message=f"option row documents '--{flag}' but cmd_sweep "
-                        f"does not accept it"))
+                message=f"option row documents '--{flag}' but no kusd "
+                        f"subcommand accepts it"))
         return findings
 
     def check_schema(self, ctx):

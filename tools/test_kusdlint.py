@@ -56,6 +56,8 @@ void register_builtin_engines(Registry& registry) {
 | `--engine` | registry names | `alpha`, `beta` |
 | `--graph` | specs | topology axis; only `beta` |
 | `--trials` | 25 | Monte-Carlo trials per point |
+| `--inputs` | journals | merge: shard journals to combine |
+| `--out` | file | merge: CSV destination |
 
 CSV header = JSONL keys:
 
@@ -74,8 +76,16 @@ std::vector<std::string> Sweep::csv_header() {
     "tools/kusd_cli.cpp": """\
 static const char kUsage[] =
     "kusd sweep --engine alpha,beta --graph SPEC (beta only)\\n";
-static const std::set<std::string> known = {
-    "engine", "graph", "trials"};
+int cmd_sweep(int argc, char** argv) {
+  static const std::set<std::string> known = {
+      "engine", "graph", "trials"};
+  return 0;
+}
+int cmd_merge(int argc, char** argv) {
+  static const std::set<std::string> known = {
+      "inputs", "out"};
+  return 0;
+}
 """,
 }
 
@@ -424,6 +434,19 @@ class ContractSyncTest(FixtureTest):
         self.assertEqual(result.returncode, 1)
         self.assertIn("[flag-doc-drift]", result.stderr)
         self.assertIn("lockstep-schedule", result.stderr)
+
+    def test_merge_flag_without_doc_row_fails(self):
+        # Every subcommand's known-set is covered, not just cmd_sweep's:
+        # a new merge flag without a doc row must fail too, attributed to
+        # the right subcommand.
+        self.write_contract_fixture(**{
+            "tools/kusd_cli.cpp": CONTRACT_FIXTURE[
+                "tools/kusd_cli.cpp"].replace(
+                '"inputs", "out"', '"inputs", "out", "strict"')})
+        result = run_lint(self.root, "--pass", "contract-sync")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("[flag-doc-drift]", result.stderr)
+        self.assertIn("merge flag '--strict'", result.stderr)
 
     def test_ghost_flag_row_fails(self):
         self.write_contract_fixture(**{
